@@ -1,0 +1,49 @@
+// Command calibrate derives the per-RV diagnosis thresholds δ (Table 3)
+// and checkpoint window sizes (§5.4) from attack-free and stealthy-probe
+// missions, printing one Table-3-style block per vehicle profile.
+//
+// Usage:
+//
+//	calibrate [-rv Pixhawk] [-missions 15] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	rv := flag.String("rv", "", "profile to calibrate (default: all)")
+	missions := flag.Int("missions", 15, "attack-free calibration missions")
+	seed := flag.Int64("seed", 1, "master seed")
+	flag.Parse()
+
+	if err := run(*rv, *missions, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rv string, missions int, seed int64) error {
+	names := vehicle.AllRVs()
+	if rv != "" {
+		names = []vehicle.ProfileName{vehicle.ProfileName(rv)}
+	}
+	opt := experiments.Options{Missions: missions, Seed: seed, Wind: 4.5}
+	for _, name := range names {
+		p, err := vehicle.LookupProfile(name)
+		if err != nil {
+			return err
+		}
+		cal := experiments.Calibrate(p, opt)
+		experiments.WriteCalibration(os.Stdout, cal)
+		sw := experiments.StealthyWindow(p, experiments.Options{Missions: missions / 2, Seed: seed, Wind: 2})
+		experiments.WriteStealthyWindow(os.Stdout, sw)
+		fmt.Println()
+	}
+	return nil
+}

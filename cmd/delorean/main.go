@@ -1,0 +1,202 @@
+// Command delorean flies one simulated mission with a chosen vehicle,
+// defense strategy, and SDA, printing the mission trace and verdict. It
+// is the interactive entry point for exploring the framework.
+//
+// Usage:
+//
+//	delorean -rv ArduCopter -defense DeLorean -attack GPS,accelerometer \
+//	         -attack-start 15 -attack-dur 20 -wind 2 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	rv := flag.String("rv", "ArduCopter", "vehicle profile (Pixhawk, Tarot, Sky-Viper, AionR1, ArduCopter, ArduRover)")
+	defense := flag.String("defense", "DeLorean", "defense: None, DeLorean, LQR-O, SSR, PID-Piper")
+	attackList := flag.String("attack", "", "comma-separated sensors to attack (GPS, gyroscope, accelerometer, magnetometer, barometer); empty = no attack")
+	attackStart := flag.Float64("attack-start", 15, "attack start time (s)")
+	attackDur := flag.Float64("attack-dur", 20, "attack duration (s)")
+	stealthy := flag.String("stealthy", "", "stealthy mode: random, gradual, intermittent (empty = persistent full-bias SDA)")
+	path := flag.String("path", "S", "mission path kind: S, MW, C, P1, P2, P3")
+	windMean := flag.Float64("wind", 1, "mean wind (m/s)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*rv, *defense, *attackList, *attackStart, *attackDur, *stealthy, *path, *windMean, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "delorean:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rv, defense, attackList string, attackStart, attackDur float64, stealthy, path string, windMean float64, seed int64) error {
+	profile, err := vehicle.LookupProfile(vehicle.ProfileName(rv))
+	if err != nil {
+		return err
+	}
+	strategy, err := parseStrategy(defense)
+	if err != nil {
+		return err
+	}
+	kind, err := parsePath(path)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := mission.NewOfKind(kind, profile.CruiseAltitude, rng)
+
+	cfg := sim.Config{
+		Profile:    profile,
+		Plan:       plan,
+		Strategy:   strategy,
+		WindowSec:  15,
+		WindMean:   windMean,
+		WindGust:   0.5,
+		Seed:       rng.Int63(),
+		MaxSec:     300,
+		TraceEvery: 100,
+	}
+	if attackList != "" {
+		targets, err := parseTargets(attackList)
+		if err != nil {
+			return err
+		}
+		var sda *attack.SDA
+		if stealthy == "" {
+			sda = attack.New(rng, attack.DefaultParams(), targets, attackStart, attackStart+attackDur)
+		} else {
+			mode, err := parseStealthyMode(stealthy)
+			if err != nil {
+				return err
+			}
+			// Stealthy attacks inject sub-threshold bias: a tenth of the
+			// Table 2 magnitudes.
+			base := attack.New(rng, attack.DefaultParams(), targets, attackStart, attackStart+attackDur)
+			sda = attack.NewWithBias(rng, base.Base().Scale(0.1), attackStart, attackStart+attackDur, mode)
+		}
+		cfg.Attacks = attack.NewSchedule(sda)
+		fmt.Printf("SDA (%s) on %v from t=%.0fs to t=%.0fs\n", sda.Mode, targets, attackStart, attackStart+attackDur)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s mission (%s) on %s, defense %s, wind %.1f m/s\n\n",
+		kind, plan.Kind, profile.Name, strategy, windMean)
+	fmt.Println("   t       true position         believed position    state")
+	for _, tp := range res.Trace {
+		state := "cruise"
+		if tp.Recovering {
+			state = "RECOVERY"
+		} else if tp.AlertActive {
+			state = "alert"
+		}
+		if tp.AttackActive {
+			state += " [under attack]"
+		}
+		fmt.Printf("%6.1fs  (%7.1f %7.1f %5.1f)  (%7.1f %7.1f %5.1f)  %s\n",
+			tp.T, tp.Truth.X, tp.Truth.Y, tp.Truth.Z,
+			tp.Believed.X, tp.Believed.Y, tp.Believed.Z, state)
+	}
+	fmt.Println()
+	verdict := "SUCCESS"
+	switch {
+	case res.Crashed:
+		verdict = fmt.Sprintf("CRASHED (%s at t=%.1fs)", res.CrashReason, res.CrashTime)
+	case res.Stalled:
+		verdict = "STALLED"
+	case !res.Success:
+		verdict = "FAILED (landed off target)"
+	}
+	fmt.Printf("verdict: %s — duration %.1fs, final distance from destination %.2fm\n",
+		verdict, res.Duration, res.FinalDistance)
+	if res.DiagnosisRanDuringAttack {
+		fmt.Printf("diagnosis during attack: %v (%d recovery activation(s))\n",
+			res.DiagnosedDuringAttack, res.RecoveryActivations)
+	}
+	return nil
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return core.StrategyNone, nil
+	case "delorean":
+		return core.StrategyDeLorean, nil
+	case "lqr-o", "lqro":
+		return core.StrategyLQRO, nil
+	case "ssr":
+		return core.StrategySSR, nil
+	case "pid-piper", "pidpiper":
+		return core.StrategyPIDPiper, nil
+	default:
+		return 0, fmt.Errorf("unknown defense %q", s)
+	}
+}
+
+func parsePath(s string) (mission.PathKind, error) {
+	switch strings.ToUpper(s) {
+	case "S":
+		return mission.Straight, nil
+	case "MW":
+		return mission.MultiWaypoint, nil
+	case "C":
+		return mission.Circular, nil
+	case "P1":
+		return mission.Polygon1, nil
+	case "P2":
+		return mission.Polygon2, nil
+	case "P3":
+		return mission.Polygon3, nil
+	default:
+		return 0, fmt.Errorf("unknown path kind %q", s)
+	}
+}
+
+func parseStealthyMode(s string) (attack.Mode, error) {
+	switch strings.ToLower(s) {
+	case "random":
+		return attack.RandomBias, nil
+	case "gradual":
+		return attack.Gradual, nil
+	case "intermittent":
+		return attack.Intermittent, nil
+	default:
+		return 0, fmt.Errorf("unknown stealthy mode %q", s)
+	}
+}
+
+func parseTargets(s string) (sensors.TypeSet, error) {
+	out := sensors.NewTypeSet()
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "gps":
+			out.Add(sensors.GPS)
+		case "gyro", "gyroscope":
+			out.Add(sensors.Gyro)
+		case "accel", "accelerometer":
+			out.Add(sensors.Accel)
+		case "mag", "magnetometer":
+			out.Add(sensors.Mag)
+		case "baro", "barometer":
+			out.Add(sensors.Baro)
+		default:
+			return nil, fmt.Errorf("unknown sensor %q", name)
+		}
+	}
+	return out, nil
+}

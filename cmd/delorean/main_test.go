@@ -1,0 +1,121 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+)
+
+func TestParseStrategy(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    core.Strategy
+		wantErr bool
+	}{
+		{give: "DeLorean", want: core.StrategyDeLorean},
+		{give: "delorean", want: core.StrategyDeLorean},
+		{give: "LQR-O", want: core.StrategyLQRO},
+		{give: "lqro", want: core.StrategyLQRO},
+		{give: "none", want: core.StrategyNone},
+		{give: "SSR", want: core.StrategySSR},
+		{give: "PID-Piper", want: core.StrategyPIDPiper},
+		{give: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseStrategy(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseStrategy(%q) err = %v", tt.give, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseStrategy(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    mission.PathKind
+		wantErr bool
+	}{
+		{give: "S", want: mission.Straight},
+		{give: "mw", want: mission.MultiWaypoint},
+		{give: "C", want: mission.Circular},
+		{give: "p1", want: mission.Polygon1},
+		{give: "P2", want: mission.Polygon2},
+		{give: "P3", want: mission.Polygon3},
+		{give: "Z", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parsePath(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parsePath(%q) err = %v", tt.give, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parsePath(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("GPS, gyro,accelerometer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sensors.NewTypeSet(sensors.GPS, sensors.Gyro, sensors.Accel)
+	if !got.Equal(want) {
+		t.Errorf("parseTargets = %v, want %v", got, want)
+	}
+	if _, err := parseTargets("lidar"); err == nil {
+		t.Error("expected error for unknown sensor")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mission")
+	}
+	if err := run("ArduCopter", "DeLorean", "GPS", 12, 10, "", "S", 1, 3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("NoSuchRV", "DeLorean", "", 0, 0, "", "S", 0, 1); err == nil {
+		t.Error("expected error for unknown RV")
+	}
+	if err := run("ArduCopter", "wat", "", 0, 0, "", "S", 0, 1); err == nil {
+		t.Error("expected error for unknown defense")
+	}
+	if err := run("ArduCopter", "DeLorean", "", 0, 0, "", "X9", 0, 1); err == nil {
+		t.Error("expected error for unknown path")
+	}
+}
+
+func TestParseStealthyMode(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    attack.Mode
+		wantErr bool
+	}{
+		{give: "random", want: attack.RandomBias},
+		{give: "Gradual", want: attack.Gradual},
+		{give: "intermittent", want: attack.Intermittent},
+		{give: "persistent", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseStealthyMode(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseStealthyMode(%q) err = %v", tt.give, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseStealthyMode(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Delivery: the paper's motivating scenario (§3.2 / Fig. 2 vs Fig. 9).
+//
+// A last-mile delivery drone flies a straight leg at 10 m altitude. Two
+// SDAs strike GPS and accelerometer simultaneously — one during takeoff,
+// one during landing, the two most safety-critical phases. The example
+// flies the same mission twice: once protected by the worst-case LQR-O
+// recovery (which isolates ALL sensors and overshoots, as in Fig. 2), and
+// once by DeLorean's diagnosis-guided targeted recovery (Fig. 9), then
+// compares deviation, delay, and landing accuracy.
+//
+//	go run ./examples/delivery
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	opt := experiments.Options{Seed: 11, Missions: 1}
+
+	fmt.Println("=== worst-case recovery (LQR-O): Fig. 2 scenario ===")
+	lqro := experiments.Fig2(opt)
+	report(lqro)
+
+	fmt.Println()
+	fmt.Println("=== diagnosis-guided recovery (DeLorean): Fig. 9 scenario ===")
+	dl := experiments.Fig9(opt)
+	report(dl)
+
+	fmt.Println()
+	if dl.RMSD < lqro.RMSD && dl.FinalMiss <= lqro.FinalMiss {
+		fmt.Println("targeted recovery beat worst-case recovery on stability and accuracy,")
+		fmt.Println("matching the paper's Fig. 2 vs Fig. 9 comparison.")
+	} else {
+		fmt.Println("note: on this seed the two recoveries came out close; see")
+		fmt.Println("cmd/experiments -exp table6 for the aggregate comparison.")
+	}
+	_ = core.StrategyLQRO // imported for documentation cross-reference
+	return nil
+}
+
+func report(r experiments.TraceResult) {
+	fmt.Printf("attitude RMSD vs attack-free flight: %.4f rad\n", r.RMSD)
+	fmt.Printf("mission delay:                       %.1f%%\n", r.DelayPercent)
+	fmt.Printf("peak altitude overshoot:             %.2f m\n", r.MaxDeviation)
+	fmt.Printf("landing offset:                      %.2f m\n", r.FinalMiss)
+	fmt.Printf("outcome: success=%v crashed=%v\n", r.Success, r.Crashed)
+	fmt.Println("altitude profile during the attacks:")
+	for i, tp := range r.Trace {
+		if i%8 != 0 {
+			continue
+		}
+		marker := " "
+		if tp.AttackActive {
+			marker = "⚡"
+		}
+		fmt.Printf("  t=%5.1fs  z=%5.2fm %s\n", tp.T, tp.Truth.Z, marker)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: protect one drone mission from a GPS spoofing attack.
+//
+// A simulated ArduCopter flies a 60 m straight delivery leg at 10 m
+// altitude. Midway, an attacker spoofs its GPS by tens of metres. The
+// DeLorean framework detects the attack, diagnoses that (only) the GPS is
+// compromised, isolates it, reconstructs the position from trustworthy
+// history + the dynamics model, and finishes the mission on the remaining
+// sensors.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+	drone := vehicle.MustProfile(vehicle.ArduCopter)
+
+	// A GPS-only SDA from t=15 s to t=35 s with Table 2 bias magnitudes.
+	spoof := attack.New(rng, attack.DefaultParams(),
+		sensors.NewTypeSet(sensors.GPS), 15, 35)
+
+	res, err := sim.Run(sim.Config{
+		Profile:   drone,
+		Plan:      mission.NewStraight(60, 10),
+		Strategy:  core.StrategyDeLorean,
+		WindowSec: 15,
+		Attacks:   attack.NewSchedule(spoof),
+		WindMean:  1.5,
+		WindGust:  0.5,
+		Seed:      rng.Int63(),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("GPS spoof bias: %+.1f m (x), %+.1f m (y)\n",
+		spoof.Base().GPSPos[0], spoof.Base().GPSPos[1])
+	fmt.Printf("diagnosis identified: %v\n", res.DiagnosedDuringAttack)
+	fmt.Printf("recovery episodes:    %d\n", res.RecoveryActivations)
+	fmt.Printf("mission duration:     %.1f s\n", res.Duration)
+	fmt.Printf("landing offset:       %.2f m from the destination\n", res.FinalDistance)
+	if res.Success {
+		fmt.Println("mission: SUCCESS — the drone delivered despite the spoof")
+	} else {
+		fmt.Printf("mission: FAILED (crashed=%v stalled=%v)\n", res.Crashed, res.Stalled)
+	}
+	return nil
+}

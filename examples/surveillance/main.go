@@ -1,0 +1,50 @@
+// Surveillance: stealthy attacks against a circular patrol (§6.5/Fig. 10).
+//
+// A surveillance drone orbits a 30 m circle — the agriculture/monitoring
+// mission shape of Table 8. The attacker knows a residual detector is
+// onboard and keeps every injected bias below the instantaneous detection
+// threshold, modulating it adaptively: randomly (A1), as a slow ramp
+// (A2), and intermittently (A3). The example shows how the CUSUM detector
+// still catches each variant within one checkpoint window, how little the
+// recorded historic states were corrupted while the attack ran
+// undetected, and that recovery succeeds regardless.
+//
+//	go run ./examples/surveillance
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	results := experiments.Fig10(experiments.Options{Seed: 23, Missions: 1})
+	fmt.Println("adaptive stealthy attacks vs the CUSUM-equipped detector:")
+	fmt.Println()
+	allGood := true
+	for _, r := range results {
+		fmt.Printf("%-16s detected-in-window=%-5v delay=%5.2fs  HS corruption=%.2fm  success=%v\n",
+			r.Attack, r.DetectedWithinWindow, r.DetectionDelay, r.HSCorruption, r.Success)
+		if !r.Success || r.Crashed {
+			allGood = false
+		}
+	}
+	fmt.Println()
+	if allGood {
+		fmt.Println("all three adaptive stealthy attacks were absorbed: detection within one")
+		fmt.Println("sliding window kept the historic-states corruption small enough that the")
+		fmt.Println("recovery still landed the mission (the paper's §6.5 claim).")
+	} else {
+		fmt.Println("at least one stealthy episode disrupted the mission on this seed.")
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package attack
+
+import (
+	"math"
+
+	"repro/internal/sensors"
+)
+
+// Emitter models the physical signal source mounting the SDA (§2.3:
+// "attackers can deploy signal emitters in locations of their choosing").
+// The injection only reaches the vehicle while it is within Range of the
+// emitter (§5.3 derives 200 m as the strongest plausible range, from the
+// GPS spoofer; Table 2's "Max Range" column).
+type Emitter struct {
+	// X, Y is the emitter's ground position.
+	X, Y float64
+	// Range is the effective radius in metres.
+	Range float64
+}
+
+// Covers reports whether the vehicle position (x, y) is within range.
+func (e Emitter) Covers(x, y float64) bool {
+	if e.Range <= 0 {
+		return true // unset range = idealized full-mission coverage
+	}
+	dx, dy := x-e.X, y-e.Y
+	return math.Hypot(dx, dy) <= e.Range
+}
+
+// WithEmitter attaches a physical emitter to the SDA: the bias reaches
+// the sensors only while the attack window is open AND the vehicle is
+// inside the emitter's range. It returns the SDA for chaining.
+func (a *SDA) WithEmitter(e Emitter) *SDA {
+	a.emitter = &e
+	return a
+}
+
+// BiasAtPos returns the injected bias at time t for a vehicle at ground
+// position (x, y), honouring the emitter's range if one is attached.
+func (a *SDA) BiasAtPos(t, x, y float64) sensors.Bias {
+	if a.emitter != nil && !a.emitter.Covers(x, y) {
+		return sensors.Bias{}
+	}
+	return a.BiasAt(t)
+}
+
+// BiasAtPos returns the schedule's total injected bias at time t for a
+// vehicle at (x, y).
+func (s *Schedule) BiasAtPos(t, x, y float64) sensors.Bias {
+	var total sensors.Bias
+	for _, a := range s.Attacks {
+		b := a.BiasAtPos(t, x, y)
+		for i := 0; i < 3; i++ {
+			total.GPSPos[i] += b.GPSPos[i]
+			total.GPSVel[i] += b.GPSVel[i]
+			total.Gyro[i] += b.Gyro[i]
+			total.Accel[i] += b.Accel[i]
+		}
+		total.MagYaw += b.MagYaw
+		total.Baro += b.Baro
+	}
+	return total
+}
+
+// InRangeAt reports whether any attack is active at t and physically
+// reaches a vehicle at (x, y).
+func (s *Schedule) InRangeAt(t, x, y float64) bool {
+	for _, a := range s.Attacks {
+		if a.ActiveAt(t) && (a.emitter == nil || a.emitter.Covers(x, y)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package checkpoint
+
+import "sort"
+
+// Sample is one timestamped reading from a single sensor stream.
+type Sample struct {
+	T float64
+	V float64
+}
+
+// AlignStreams implements the paper's multi-rate alignment (§4.2):
+// "we select a single target frequency for recording the HS, which is the
+// highest sampling rate of all the sensors. We then align the low
+// frequency streams with the high frequency streams by inserting
+// additional data points in the low frequency stream ... we duplicate the
+// last data point in the low frequency streams based on the ranges of the
+// sample points of the high frequency streams."
+//
+// streams maps a stream name to its samples (each sorted by time). The
+// result maps each name to a slice aligned to the timestamps of the
+// fastest stream (the one with the most samples): for every target
+// timestamp, the aligned value is the latest sample at or before it
+// (duplicate-last upsampling); target timestamps before a stream's first
+// sample take that first sample.
+//
+// The returned timestamps slice holds the target grid. Alignment of an
+// empty input returns nil maps.
+func AlignStreams(streams map[string][]Sample) (timestamps []float64, aligned map[string][]float64) {
+	if len(streams) == 0 {
+		return nil, nil
+	}
+	// Pick the densest stream as the target grid; break ties by name for
+	// determinism.
+	var fastName string
+	for name, s := range streams {
+		if fastName == "" || len(s) > len(streams[fastName]) ||
+			(len(s) == len(streams[fastName]) && name < fastName) {
+			fastName = name
+		}
+	}
+	fast := streams[fastName]
+	if len(fast) == 0 {
+		return nil, nil
+	}
+	timestamps = make([]float64, len(fast))
+	for i, s := range fast {
+		timestamps[i] = s.T
+	}
+
+	aligned = make(map[string][]float64, len(streams))
+	for name, s := range streams {
+		vals := make([]float64, len(timestamps))
+		for i, ts := range timestamps {
+			vals[i] = sampleAtOrBefore(s, ts)
+		}
+		aligned[name] = vals
+	}
+	return timestamps, aligned
+}
+
+// sampleAtOrBefore returns the value of the latest sample with T ≤ ts,
+// or the first sample's value when ts precedes the stream.
+func sampleAtOrBefore(s []Sample, ts float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	// Index of first sample with T > ts.
+	i := sort.Search(len(s), func(i int) bool { return s[i].T > ts })
+	if i == 0 {
+		return s[0].V
+	}
+	return s[i-1].V
+}

@@ -1,0 +1,89 @@
+// Package control implements the RV's nominal autopilot: a cascaded PID
+// position → velocity → attitude controller for quadcopters and a
+// steering/speed PID for rovers (§2.1: "Typically, a PID controller is
+// used for the RV's position, velocity, and orientation control").
+//
+// The controller consumes whatever state estimate it is given — the EKF
+// estimate in normal operation, or the recovery modules' reconstructed
+// states during attack recovery — which is exactly the injection point the
+// DeLorean framework (Fig. 4) uses.
+package control
+
+// PID is a scalar PID regulator with output clamping and integral
+// anti-windup.
+type PID struct {
+	KP, KI, KD float64
+	// OutMin/OutMax clamp the output; zero values mean unclamped.
+	OutMin, OutMax float64
+	// IMax clamps the magnitude of the integral term contribution.
+	IMax float64
+
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// Reset clears the controller's internal state.
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.primed = false
+}
+
+// Update advances the regulator with error e over dt seconds and returns
+// the control output.
+func (c *PID) Update(e, dt float64) float64 {
+	if dt <= 0 {
+		return c.output(e, 0)
+	}
+	c.integral += c.KI * e * dt
+	if c.IMax > 0 {
+		if c.integral > c.IMax {
+			c.integral = c.IMax
+		} else if c.integral < -c.IMax {
+			c.integral = -c.IMax
+		}
+	}
+	var deriv float64
+	if c.primed {
+		deriv = (e - c.prevErr) / dt
+	}
+	c.prevErr = e
+	c.primed = true
+	return c.output(e, deriv)
+}
+
+// UpdateWithRate is like Update but uses a measured rate for the
+// derivative term (derivative-on-measurement), which avoids derivative
+// kick on setpoint changes. rate is d(measurement)/dt, so the derivative
+// contribution is −KD·rate.
+func (c *PID) UpdateWithRate(e, rate, dt float64) float64 {
+	if dt > 0 {
+		c.integral += c.KI * e * dt
+		if c.IMax > 0 {
+			if c.integral > c.IMax {
+				c.integral = c.IMax
+			} else if c.integral < -c.IMax {
+				c.integral = -c.IMax
+			}
+		}
+	}
+	out := c.KP*e + c.integral - c.KD*rate
+	return c.clamp(out)
+}
+
+func (c *PID) output(e, deriv float64) float64 {
+	return c.clamp(c.KP*e + c.integral + c.KD*deriv)
+}
+
+func (c *PID) clamp(v float64) float64 {
+	if c.OutMin != 0 || c.OutMax != 0 {
+		if v < c.OutMin {
+			return c.OutMin
+		}
+		if v > c.OutMax {
+			return c.OutMax
+		}
+	}
+	return v
+}

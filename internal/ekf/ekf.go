@@ -1,0 +1,324 @@
+// Package ekf implements the Extended Kalman Filter state estimator of
+// §2.1/Appendix A.2. The filter follows the onboard architecture of real
+// autopilots: the inertial sensors (gyroscope, accelerometer) drive the
+// prediction step (strapdown propagation), while GPS, barometer, and
+// magnetometer provide corrections. This is what makes sensor deception
+// attacks effective against the fused estimate — bias on any sensor type
+// propagates into the state estimate, as the paper's attacks require.
+//
+// The filter supports masking individual sensor types, which is how the
+// DeLorean framework isolates diagnosed sensors from the feedback control
+// loop (Fig. 4): a masked inertial sensor's role in prediction is replaced
+// by the dynamics model f(x, u); a masked correcting sensor simply stops
+// correcting. It also exposes pure model prediction, the roll-forward
+// primitive state reconstruction uses to replay dynamics from the last
+// trustworthy checkpoint (§4.3).
+package ekf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/sensors"
+	"repro/internal/vehicle"
+)
+
+// nx is the rigid-body state dimension.
+const nx = 12
+
+// StepFunc advances the model state by dt under input u. It abstracts the
+// dynamics model so the filter can run on either the true vehicle
+// parameters or the system-identified model (Appendix A.2 learns the model
+// through system identification).
+type StepFunc func(s vehicle.State, u vehicle.Input, dt float64) vehicle.State
+
+// QuadStep returns a StepFunc for the given quadcopter model (no wind —
+// the onboard model cannot observe wind; it is process noise).
+func QuadStep(q vehicle.Quadcopter) StepFunc {
+	return func(s vehicle.State, u vehicle.Input, dt float64) vehicle.State {
+		return q.Step(s, u, vehicle.Wind{}, dt)
+	}
+}
+
+// RoverStep returns a StepFunc for the given rover model.
+func RoverStep(r vehicle.Rover) StepFunc {
+	return func(s vehicle.State, u vehicle.Input, dt float64) vehicle.State {
+		return r.Step(s, u, vehicle.Wind{}, dt)
+	}
+}
+
+// StepForProfile returns the model step for a profile's vehicle class.
+func StepForProfile(p vehicle.Profile) StepFunc {
+	if p.IsQuad() {
+		return QuadStep(p.Quad)
+	}
+	return RoverStep(p.Rover)
+}
+
+// obsChannel describes one correction row: which sensor supplies it, which
+// rigid-body state index it observes, and its noise floor.
+type obsChannel struct {
+	sensor sensors.Type
+	state  int
+	noise  float64
+}
+
+// Filter is the EKF.
+type Filter struct {
+	step    StepFunc
+	isQuad  bool
+	x       vehicle.State
+	p       *mat.Mat
+	q       *mat.Mat
+	obs     []obsChannel
+	magYawN float64
+
+	// fkin is the kinematic transition Jacobian used for covariance
+	// propagation. Because the prediction is strapdown (measurement
+	// driven), attitude errors do not couple into velocity through the
+	// dynamics model; the only structural coupling is position ← velocity.
+	// Using the full model Jacobian here would let GPS innovations leak
+	// into the attitude estimate through spurious cross-covariances.
+	fkin *mat.Mat
+}
+
+// New returns a filter for the profile, with measurement noise taken from
+// the profile's sensor noise floor.
+func New(p vehicle.Profile) *Filter {
+	n := p.Noise
+	obs := []obsChannel{
+		{sensor: sensors.GPS, state: 0, noise: nz(n.GPSPos)},
+		{sensor: sensors.GPS, state: 1, noise: nz(n.GPSPos)},
+		{sensor: sensors.GPS, state: 2, noise: nz(n.GPSPos)},
+		{sensor: sensors.GPS, state: 3, noise: nz(n.GPSVel)},
+		{sensor: sensors.GPS, state: 4, noise: nz(n.GPSVel)},
+		{sensor: sensors.GPS, state: 5, noise: nz(n.GPSVel)},
+		{sensor: sensors.Baro, state: 2, noise: nz(n.Baro)},
+		{sensor: sensors.Mag, state: 8, noise: nz(10 * n.Mag)}, // yaw from field
+		// Attitude corrections from the gyro-derived (complementary
+		// filtered) angle estimates close the roll/pitch loop; without
+		// them an attitude offset acquired during a gyro outage would
+		// never decay.
+		{sensor: sensors.Gyro, state: 6, noise: nz(20 * n.Gyro)},
+		{sensor: sensors.Gyro, state: 7, noise: nz(20 * n.Gyro)},
+	}
+	return &Filter{
+		step:    StepForProfile(p),
+		isQuad:  p.IsQuad(),
+		p:       mat.Identity(nx).Scale(0.1),
+		q:       defaultProcessNoise(),
+		obs:     obs,
+		magYawN: nz(10 * n.Mag),
+	}
+}
+
+// kinematicJacobian builds the constant position←velocity transition
+// Jacobian for covariance propagation at period dt.
+func kinematicJacobian(dt float64) *mat.Mat {
+	f := mat.Identity(nx)
+	for i := 0; i < 3; i++ {
+		f.Set(i, 3+i, dt)   // pos ← vel
+		f.Set(6+i, 9+i, dt) // angle ← rate
+	}
+	return f
+}
+
+// nz guards against a zero noise floor (singular R).
+func nz(v float64) float64 {
+	if v <= 0 {
+		return 1e-3
+	}
+	return v
+}
+
+func defaultProcessNoise() *mat.Mat {
+	d := make([]float64, nx)
+	for i := 0; i < 3; i++ {
+		d[i] = 0.01   // position
+		d[3+i] = 0.05 // velocity (wind is unmodelled)
+		d[6+i] = 0.005
+		d[9+i] = 0.01
+	}
+	return mat.Diag(d)
+}
+
+// Init seeds the filter state.
+func (f *Filter) Init(s vehicle.State) {
+	f.x = s
+	f.p = mat.Identity(nx).Scale(0.1)
+	f.fkin = nil
+}
+
+// State returns the current estimate.
+func (f *Filter) State() vehicle.State { return f.x }
+
+// Covariance returns a copy of the estimate covariance.
+func (f *Filter) Covariance() *mat.Mat { return f.p.Clone() }
+
+// SetState force-sets the estimate (used when recovery hands the filter a
+// reconstructed state).
+func (f *Filter) SetState(s vehicle.State) { f.x = s }
+
+// Predict rolls the estimate forward dt seconds under input u using the
+// dynamics model only (no sensors at all) — the worst-case recovery and
+// reconstruction primitive.
+func (f *Filter) Predict(u vehicle.Input, dt float64) {
+	f.propagateCovariance(u, dt)
+	f.x = f.step(f.x, u, dt)
+}
+
+// PredictHybrid performs the strapdown prediction: inertial channels in
+// active drive the propagation from their measurements; masked inertial
+// channels fall back to the dynamics model under input u.
+//
+//   - gyroscope active: attitude integrates the measured body rates.
+//   - accelerometer active: velocity integrates the measured acceleration.
+//   - masked: the model step supplies the respective derivatives.
+func (f *Filter) PredictHybrid(u vehicle.Input, meas sensors.PhysState, active sensors.TypeSet, dt float64) {
+	f.propagateCovariance(u, dt)
+	model := f.step(f.x, u, dt)
+
+	next := f.x
+
+	// Attitude propagation.
+	if f.isQuad && active.Has(sensors.Gyro) {
+		next.WRoll = meas[sensors.SWRoll]
+		next.WPitch = meas[sensors.SWPitch]
+		next.WYaw = meas[sensors.SWYaw]
+		next.Roll = vehicle.WrapAngle(f.x.Roll + next.WRoll*dt)
+		next.Pitch = vehicle.WrapAngle(f.x.Pitch + next.WPitch*dt)
+		next.Yaw = vehicle.WrapAngle(f.x.Yaw + next.WYaw*dt)
+	} else if !f.isQuad && active.Has(sensors.Gyro) {
+		// Rovers only use the yaw gyro.
+		next.WYaw = meas[sensors.SWYaw]
+		next.Yaw = vehicle.WrapAngle(f.x.Yaw + next.WYaw*dt)
+	} else {
+		next.Roll, next.Pitch, next.Yaw = model.Roll, model.Pitch, model.Yaw
+		next.WRoll, next.WPitch, next.WYaw = model.WRoll, model.WPitch, model.WYaw
+	}
+
+	// Velocity propagation.
+	if active.Has(sensors.Accel) {
+		next.VX = f.x.VX + meas[sensors.SAX]*dt
+		next.VY = f.x.VY + meas[sensors.SAY]*dt
+		next.VZ = f.x.VZ + meas[sensors.SAZ]*dt
+	} else {
+		next.VX, next.VY, next.VZ = model.VX, model.VY, model.VZ
+	}
+
+	// Position integrates the propagated velocity.
+	next.X = f.x.X + next.VX*dt
+	next.Y = f.x.Y + next.VY*dt
+	next.Z = f.x.Z + next.VZ*dt
+	if next.Z < 0 {
+		next.Z = 0
+	}
+	f.x = next
+}
+
+func (f *Filter) propagateCovariance(_ vehicle.Input, dt float64) {
+	if f.fkin == nil {
+		f.fkin = kinematicJacobian(dt)
+	}
+	fj := f.fkin
+	f.p = fj.Mul(f.p).Mul(fj.T()).Add(f.q.Scale(dt)).Symmetrize()
+}
+
+// MagYaw derives the yaw observation from a magnetometer field
+// measurement, inverting the BodyField observation model.
+func MagYaw(meas sensors.PhysState) float64 {
+	return math.Atan2(-meas[sensors.SMagY], meas[sensors.SMagX])
+}
+
+// Correct fuses the correcting sensors (GPS, barometer, magnetometer) in
+// active; masked sensors contribute nothing — the isolation mechanism of
+// Fig. 4. Inertial sensors do not appear here; they act in PredictHybrid.
+func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
+	var rows []obsChannel
+	var z []float64
+	for _, ch := range f.obs {
+		if !active.Has(ch.sensor) {
+			continue
+		}
+		if ch.sensor == sensors.Gyro && !f.isQuad {
+			continue // rovers carry no roll/pitch
+		}
+		rows = append(rows, ch)
+		if ch.sensor == sensors.Mag {
+			z = append(z, MagYaw(meas))
+		} else {
+			z = append(z, measChannel(meas, ch))
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	m := len(rows)
+	h := mat.New(m, nx)
+	rdiag := make([]float64, m)
+	for i, ch := range rows {
+		h.Set(i, ch.state, 1)
+		rdiag[i] = ch.noise * ch.noise
+	}
+	xvec := mat.Vec(f.x.Vec())
+	innov := mat.NewVec(m)
+	for i, ch := range rows {
+		d := z[i] - xvec[ch.state]
+		if ch.state >= 6 && ch.state <= 8 {
+			d = vehicle.WrapAngle(d)
+		}
+		innov[i] = d
+	}
+	ph := f.p.Mul(h.T())
+	s := h.Mul(ph).Add(mat.Diag(rdiag))
+	// Innovation gating: clamp each innovation to ±gateSigma·√S_ii, the
+	// standard EKF defense against implausible jumps. A deception bias
+	// larger than the gate is admitted gradually (a few gates per
+	// correction cycle) rather than instantaneously — which bounds how far
+	// a single corrupted correction can drag the estimate while still
+	// letting persistent spoofing take effect, as observed on real
+	// autopilot stacks.
+	const gateSigma = 5.0
+	for i := range innov {
+		gate := gateSigma * math.Sqrt(s.At(i, i))
+		innov[i] = vehicle.Clamp(innov[i], -gate, gate)
+	}
+	// K = P Hᵀ S⁻¹  ⇒  solve Sᵀ Kᵀ = (P Hᵀ)ᵀ.
+	kt, err := mat.SolveMat(s.T(), ph.T())
+	if err != nil {
+		return fmt.Errorf("ekf correct: %w", err)
+	}
+	k := kt.T()
+	dx := k.MulVec(innov)
+	xvec = xvec.Add(dx)
+	f.x = vehicle.StateFromVec(xvec)
+	f.x.Roll = vehicle.WrapAngle(f.x.Roll)
+	f.x.Pitch = vehicle.WrapAngle(f.x.Pitch)
+	f.x.Yaw = vehicle.WrapAngle(f.x.Yaw)
+	f.p = mat.Identity(nx).Sub(k.Mul(h)).Mul(f.p).Symmetrize()
+	return nil
+}
+
+// measChannel reads the PS channel corresponding to an observation row.
+func measChannel(meas sensors.PhysState, ch obsChannel) float64 {
+	switch {
+	case ch.sensor == sensors.Baro:
+		return meas[sensors.SBaroAlt]
+	case ch.sensor == sensors.Gyro:
+		return meas[sensors.SRoll+sensors.StateIndex(ch.state-6)]
+	default:
+		return meas[sensors.StateIndex(ch.state)] // x..vz map 1:1
+	}
+}
+
+// RollForward replays the dynamics from state s over the recorded control
+// inputs, one step of dt each, and returns the terminal state. It is the
+// §4.3 reconstruction operator: x_r(t_{s+1}) = f(x_{t_s}, u_{t_s}), applied
+// iteratively to t_a.
+func RollForward(step StepFunc, s vehicle.State, inputs []vehicle.Input, dt float64) vehicle.State {
+	for _, u := range inputs {
+		s = step(s, u, dt)
+	}
+	return s
+}

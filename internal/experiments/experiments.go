@@ -1,0 +1,135 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (§6): the workload generators,
+// parameter sweeps, baselines, and aggregation that regenerate each
+// reported result on the simulated substrate. cmd/experiments drives them
+// and renders the outputs recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/diagnosis"
+	"repro/internal/mission"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Missions is the number of missions per condition (the paper uses
+	// 100 for the simulated-RV experiments; benches scale this down).
+	Missions int
+	// Seed is the master seed; every mission derives its own seed from
+	// it, so runs are exactly reproducible.
+	Seed int64
+	// Wind is the mean mission wind in m/s. The paper simulates 0–10 m/s;
+	// with this substrate's drag model, worst-case (sensor-blind)
+	// recovery drifts with the wind at full speed, so the evaluation core
+	// uses a 0–3 m/s draw to keep the LQR-O baseline within its
+	// paper-reported operating regime (see DESIGN.md substitution notes).
+	Wind float64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Missions <= 0 {
+		o.Missions = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Wind < 0 {
+		o.Wind = 0
+	}
+	return o
+}
+
+// scenario is one mission draw: plan, wind, timing, and seed.
+type scenario struct {
+	plan     mission.Plan
+	windMean float64
+	windGust float64
+	windDir  float64
+	seed     int64
+	// attackStart/attackDur position the SDA inside the cruise segment.
+	attackStart float64
+	attackDur   float64
+}
+
+// drawScenario samples a mission scenario for the profile.
+func drawScenario(p vehicle.Profile, rng *rand.Rand, windCap float64) scenario {
+	kinds := []mission.PathKind{
+		mission.Straight, mission.MultiWaypoint, mission.Circular,
+		mission.Polygon1, mission.Polygon2, mission.Polygon3,
+	}
+	kind := kinds[rng.Intn(len(kinds))]
+	return scenario{
+		plan:        mission.NewOfKind(kind, p.CruiseAltitude, rng),
+		windMean:    rng.Float64() * windCap,
+		windGust:    0.3 + 0.5*rng.Float64(),
+		windDir:     rng.Float64() * 6.28318,
+		seed:        rng.Int63(),
+		attackStart: 10 + rng.Float64()*10,
+		attackDur:   15 + rng.Float64()*10,
+	}
+}
+
+// simConfig assembles a sim.Config for a scenario.
+func (sc scenario) simConfig(p vehicle.Profile, strategy core.Strategy, delta diagnosis.Delta, window float64) sim.Config {
+	return sim.Config{
+		Profile:   p,
+		Plan:      sc.plan,
+		Strategy:  strategy,
+		Delta:     delta,
+		WindowSec: window,
+		WindMean:  sc.windMean,
+		WindGust:  sc.windGust,
+		WindDir:   sc.windDir,
+		Seed:      sc.seed,
+		MaxSec:    300,
+	}
+}
+
+// buildAttack mounts a persistent SDA on a random k-subset of sensors in
+// the scenario's attack window.
+func (sc scenario) buildAttack(rng *rand.Rand, k int) *attack.Schedule {
+	targets := attack.RandomTargets(rng, k)
+	sda := attack.New(rng, attack.DefaultParams(), targets, sc.attackStart, sc.attackStart+sc.attackDur)
+	return attack.NewSchedule(sda)
+}
+
+// mustRun runs a mission and panics on configuration errors (experiment
+// configs are produced by this package and must be valid).
+func mustRun(cfg sim.Config) sim.Result {
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// deltaCache memoizes per-profile calibrated thresholds so the table
+// experiments share one calibration pass per RV (as the paper derives
+// Table 3 once and reuses it).
+var deltaCache sync.Map // vehicle.ProfileName -> diagnosis.Delta
+
+// DeltaFor returns calibrated δ thresholds for the profile, calibrating
+// on first use with attack-free missions whose wind envelope (0–4.5 m/s)
+// covers both the mission wind and the 15 km/h FP condition.
+func DeltaFor(p vehicle.Profile) diagnosis.Delta {
+	if v, ok := deltaCache.Load(p.Name); ok {
+		return v.(diagnosis.Delta)
+	}
+	res := Calibrate(p, Options{Missions: 8, Seed: 1000 + int64(len(p.Name)), Wind: 4.5})
+	deltaCache.Store(p.Name, res.Delta)
+	return res.Delta
+}
+
+// newSeededRand returns a deterministic source for tests.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sensors"
+	"repro/internal/vehicle"
+)
+
+// Experiment tests run at very small scale (a few missions per cell) and
+// assert the *orderings* the paper reports, not absolute percentages —
+// the same contract EXPERIMENTS.md documents.
+
+func tinyOpt() Options { return Options{Missions: 4, Seed: 7, Wind: 2} }
+
+func TestTable4ShapeDeLoreanBeatsRA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mission experiment")
+	}
+	r := Table4(tinyOpt())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 techniques", len(r.Rows))
+	}
+	var dl, bestRA float64
+	for _, row := range r.Rows {
+		if row.Technique == "DeLorean" {
+			dl = row.AvgTP
+		} else if row.AvgTP > bestRA {
+			bestRA = row.AvgTP
+		}
+	}
+	if dl < bestRA {
+		t.Errorf("DeLorean avg TP %.1f below best RA %.1f — paper ordering violated", dl, bestRA)
+	}
+	if dl < 60 {
+		t.Errorf("DeLorean avg TP %.1f unexpectedly low", dl)
+	}
+}
+
+func TestTable5ShapeDeLoreanBestMS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mission experiment")
+	}
+	r := Table5(tinyOpt())
+	if len(r.Techniques) != 4 {
+		t.Fatalf("techniques = %v", r.Techniques)
+	}
+	// DeLorean's mean mission success across sensor counts must be the
+	// highest (ties allowed).
+	means := make([]float64, len(r.Techniques))
+	for i := range r.Techniques {
+		for k := 0; k < 5; k++ {
+			means[i] += r.Cells[i][k].MissionSucc / 5
+		}
+	}
+	dlIdx := -1
+	for i, name := range r.Techniques {
+		if name == "DeLorean" {
+			dlIdx = i
+		}
+	}
+	if dlIdx < 0 {
+		t.Fatal("DeLorean missing from techniques")
+	}
+	// At this 4-missions-per-cell scale a single mission flips a cell by
+	// 25 points and the 5-count mean by 5; tolerate one mission of noise.
+	// The recorded 12-mission run (EXPERIMENTS_DATA.md) shows the strict
+	// ordering.
+	const slack = 6.5
+	for i, m := range means {
+		if i != dlIdx && means[dlIdx] < m-slack {
+			t.Errorf("%s mean MS %.1f beats DeLorean %.1f by more than sampling noise",
+				r.Techniques[i], m, means[dlIdx])
+		}
+	}
+}
+
+func TestFig10StealthyRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mission experiment")
+	}
+	rs := Fig10(Options{Seed: 23, Missions: 1})
+	if len(rs) != 3 {
+		t.Fatalf("episodes = %d, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.Crashed {
+			t.Errorf("%s crashed", r.Attack)
+		}
+		if !r.DetectedWithinWindow {
+			t.Errorf("%s evaded the sized window", r.Attack)
+		}
+		if !r.Success {
+			t.Errorf("%s failed the mission (paper: 100%% success under stealthy attacks)", r.Attack)
+		}
+	}
+}
+
+func TestCalibrateProducesPositiveDeltas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mission experiment")
+	}
+	p := vehicle.MustProfile(vehicle.ArduCopter)
+	cal := Calibrate(p, Options{Missions: 3, Seed: 3, Wind: 3})
+	for _, idx := range sensors.AllStates() {
+		if cal.Delta[idx] <= 0 {
+			t.Errorf("delta[%v] = %v", idx, cal.Delta[idx])
+		}
+	}
+	// The held-out validation must show the δ rule bounding the bulk of
+	// attack-free errors (Fig. 8a).
+	var worst float64 = 1
+	for _, idx := range sensors.AllStates() {
+		if f := cal.FracUnderDelta[idx]; f < worst {
+			worst = f
+		}
+	}
+	if worst < 0.95 {
+		t.Errorf("held-out fraction under δ = %.3f, want ≥ 0.95", worst)
+	}
+}
+
+func TestStealthyWindowDetectsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mission experiment")
+	}
+	sw := StealthyWindow(vehicle.MustProfile(vehicle.Tarot), Options{Missions: 3, Seed: 5, Wind: 1})
+	if !sw.DetectedAll {
+		t.Error("stealthy probes evaded the CUSUM detector entirely")
+	}
+	if sw.WindowSec <= 0 {
+		t.Errorf("window = %v", sw.WindowSec)
+	}
+}
+
+func TestWriteFormattersProduceTables(t *testing.T) {
+	var sb strings.Builder
+	WriteTable4(&sb, Table4Result{
+		Rows:                  []Table4Row{{Technique: "X", AvgTP: 50}},
+		GratuitousActivations: []int{0},
+		Missions:              1,
+	})
+	if !strings.Contains(sb.String(), "Table 4") {
+		t.Error("WriteTable4 missing header")
+	}
+	sb.Reset()
+	WriteTable6(&sb, Table6Result{Missions: 1})
+	if !strings.Contains(sb.String(), "Table 6") {
+		t.Error("WriteTable6 missing header")
+	}
+	sb.Reset()
+	WriteFig10(&sb, []Fig10Result{{Attack: "A1"}})
+	if !strings.Contains(sb.String(), "A1") {
+		t.Error("WriteFig10 missing row")
+	}
+}
+
+func TestDrawScenarioDeterministic(t *testing.T) {
+	p := vehicle.MustProfile(vehicle.ArduCopter)
+	a := drawScenario(p, newSeededRand(9), 3)
+	b := drawScenario(p, newSeededRand(9), 3)
+	if a.seed != b.seed || a.attackStart != b.attackStart || a.windMean != b.windMean {
+		t.Error("scenario draw not deterministic")
+	}
+}

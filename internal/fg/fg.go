@@ -1,0 +1,193 @@
+// Package fg is a small factor-graph engine (Appendix A.1): a bipartite
+// probabilistic graphical model of variables and factor functions that
+// expresses a joint distribution as a product of local factors,
+//
+//	P(x₁,…,xₙ) = ∏ f(x)
+//
+// with marginal and maximum-likelihood inference over binary-outcome
+// variables. DeLorean's attack diagnosis builds one factor graph per
+// sensor, with one variable per physical state and factor functions over
+// the observed error history (Eq. 2–4).
+package fg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Outcome is a binary variable outcome. DeLorean's diagnosis uses
+// Benign/Malicious (§4.1: "We consider binary outcomes for the sensors").
+type Outcome int
+
+// Binary outcomes.
+const (
+	Benign Outcome = iota + 1
+	Malicious
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Benign:
+		return "benign"
+	case Malicious:
+		return "malicious"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// ErrUnknownVariable is returned when inference is requested for a
+// variable that is not part of the graph.
+var ErrUnknownVariable = errors.New("fg: unknown variable")
+
+// Variable is a binary-outcome node with a prior. The paper assumes
+// uniform priors: P(benign) = P(malicious) = 0.5.
+type Variable struct {
+	Name string
+	// PriorMalicious is P(malicious) before evidence; 0.5 by default.
+	PriorMalicious float64
+
+	index int
+}
+
+// FactorFunc scores an assignment of the factor's variables. Observed
+// evidence (the errors e) is captured in the closure, matching the
+// paper's f(e_{t−1}, e_t, s_t) form.
+type FactorFunc func(assign []Outcome) float64
+
+// Factor couples one or more variables through a factor function.
+type Factor struct {
+	Name string
+	vars []*Variable
+	fn   FactorFunc
+}
+
+// Graph is a factor graph over binary variables.
+type Graph struct {
+	vars    []*Variable
+	factors []*Factor
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{}
+}
+
+// AddVariable adds a binary variable with a uniform prior and returns it.
+func (g *Graph) AddVariable(name string) *Variable {
+	v := &Variable{Name: name, PriorMalicious: 0.5, index: len(g.vars)}
+	g.vars = append(g.vars, v)
+	return v
+}
+
+// AddFactor attaches a factor function over the given variables.
+func (g *Graph) AddFactor(name string, fn FactorFunc, vars ...*Variable) *Factor {
+	f := &Factor{Name: name, vars: vars, fn: fn}
+	g.factors = append(g.factors, f)
+	return f
+}
+
+// Variables returns the graph's variables in insertion order.
+func (g *Graph) Variables() []*Variable {
+	out := make([]*Variable, len(g.vars))
+	copy(out, g.vars)
+	return out
+}
+
+// score evaluates the unnormalized joint probability of a full assignment:
+// the product of the variable priors and every factor.
+func (g *Graph) score(assign []Outcome) float64 {
+	p := 1.0
+	for i, v := range g.vars {
+		if assign[i] == Malicious {
+			p *= v.PriorMalicious
+		} else {
+			p *= 1 - v.PriorMalicious
+		}
+	}
+	for _, f := range g.factors {
+		local := make([]Outcome, len(f.vars))
+		for i, v := range f.vars {
+			local[i] = assign[v.index]
+		}
+		p *= f.fn(local)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// Marginal returns P(v = Malicious | evidence) by summing the joint over
+// all assignments (sum-product over the full joint; the diagnosis graphs
+// are small — one variable per physical state of one sensor — so exact
+// enumeration is cheap and exact).
+func (g *Graph) Marginal(v *Variable) (float64, error) {
+	if v == nil || v.index >= len(g.vars) || g.vars[v.index] != v {
+		return 0, ErrUnknownVariable
+	}
+	n := len(g.vars)
+	var malicious, total float64
+	assign := make([]Outcome, n)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			s := g.score(assign)
+			total += s
+			if assign[v.index] == Malicious {
+				malicious += s
+			}
+			return
+		}
+		assign[i] = Benign
+		walk(i + 1)
+		assign[i] = Malicious
+		walk(i + 1)
+	}
+	walk(0)
+	if total == 0 {
+		// All assignments scored zero — no factor admits any outcome.
+		// Fall back to the prior.
+		return v.PriorMalicious, nil
+	}
+	return malicious / total, nil
+}
+
+// MLE returns the maximum-likelihood outcome for v given the evidence
+// (argmax P(s|e), Algorithm 1 line 30): Malicious when
+// P(malicious|e) > 0.5.
+func (g *Graph) MLE(v *Variable) (Outcome, error) {
+	p, err := g.Marginal(v)
+	if err != nil {
+		return 0, err
+	}
+	if p > 0.5 {
+		return Malicious, nil
+	}
+	return Benign, nil
+}
+
+// ThresholdFactor builds the paper's Eq. 2 factor function for one
+// physical state, capturing the observed error pair (e_{t−1}, e_t) and
+// the calibrated threshold δ:
+//
+//	f(e_{t−1}, e_t, s) = 1 if e_t > δ ∧ e_{t−1} > δ ∧ s = malicious
+//	                     1 if ¬(e_t > δ ∧ e_{t−1} > δ) ∧ s = benign
+//	                     0 otherwise
+//
+// (The benign clause is the complement required for the factor product to
+// be a proper indicator over both outcomes.) The returned closure expects
+// exactly one variable.
+func ThresholdFactor(ePrev, eCur, delta float64) FactorFunc {
+	inflated := ePrev > delta && eCur > delta
+	return func(assign []Outcome) float64 {
+		if len(assign) != 1 {
+			return 0
+		}
+		if inflated == (assign[0] == Malicious) {
+			return 1
+		}
+		return 0
+	}
+}

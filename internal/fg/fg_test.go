@@ -1,0 +1,222 @@
+package fg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdFactorMalicious(t *testing.T) {
+	// Both errors above δ: the factor admits only Malicious.
+	f := ThresholdFactor(5, 6, 2)
+	if f([]Outcome{Malicious}) != 1 {
+		t.Error("want f(malicious) = 1 when both errors inflated")
+	}
+	if f([]Outcome{Benign}) != 0 {
+		t.Error("want f(benign) = 0 when both errors inflated")
+	}
+}
+
+func TestThresholdFactorBenign(t *testing.T) {
+	tests := []struct {
+		name        string
+		ePrev, eCur float64
+	}{
+		{name: "both below", ePrev: 1, eCur: 1},
+		{name: "only current above", ePrev: 1, eCur: 5},
+		{name: "only previous above", ePrev: 5, eCur: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := ThresholdFactor(tt.ePrev, tt.eCur, 2)
+			if f([]Outcome{Benign}) != 1 {
+				t.Error("want f(benign) = 1")
+			}
+			if f([]Outcome{Malicious}) != 0 {
+				t.Error("want f(malicious) = 0")
+			}
+		})
+	}
+}
+
+func TestThresholdFactorArityGuard(t *testing.T) {
+	f := ThresholdFactor(5, 5, 2)
+	if f([]Outcome{Malicious, Benign}) != 0 {
+		t.Error("wrong-arity assignment should score 0")
+	}
+}
+
+func TestMarginalSingleVariableInflated(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	g.AddFactor("fx", ThresholdFactor(10, 10, 2), v)
+	p, err := g.Marginal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("P(malicious) = %v, want 1", p)
+	}
+	o, err := g.MLE(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != Malicious {
+		t.Errorf("MLE = %v, want malicious", o)
+	}
+}
+
+func TestMarginalSingleVariableQuiet(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	g.AddFactor("fx", ThresholdFactor(0.1, 0.1, 2), v)
+	p, err := g.Marginal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P(malicious) = %v, want 0", p)
+	}
+	o, err := g.MLE(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != Benign {
+		t.Errorf("MLE = %v, want benign", o)
+	}
+}
+
+func TestMarginalNoFactorsIsPrior(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	p, err := g.Marginal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("P(malicious) with no evidence = %v, want prior 0.5", p)
+	}
+}
+
+func TestMarginalRespectsPrior(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	v.PriorMalicious = 0.9
+	p, err := g.Marginal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.9) > 1e-12 {
+		t.Errorf("P(malicious) = %v, want 0.9", p)
+	}
+}
+
+func TestMarginalUnknownVariable(t *testing.T) {
+	g := New()
+	g.AddVariable("x")
+	other := New().AddVariable("y")
+	if _, err := g.Marginal(other); err == nil {
+		t.Error("expected ErrUnknownVariable")
+	}
+	if _, err := g.Marginal(nil); err == nil {
+		t.Error("expected error for nil variable")
+	}
+}
+
+func TestMultiVariableIndependentFactors(t *testing.T) {
+	// Per-sensor graph shape: several states, one factor each. Inference
+	// on each variable must be independent of the others.
+	g := New()
+	vHot := g.AddVariable("hot")
+	vCold := g.AddVariable("cold")
+	g.AddFactor("fhot", ThresholdFactor(9, 9, 1), vHot)
+	g.AddFactor("fcold", ThresholdFactor(0, 0, 1), vCold)
+	pHot, err := g.Marginal(vHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCold, err := g.Marginal(vCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pHot != 1 || pCold != 0 {
+		t.Errorf("pHot = %v, pCold = %v; want 1, 0", pHot, pCold)
+	}
+}
+
+func TestCouplingFactor(t *testing.T) {
+	// A pairwise factor that forces both variables to share an outcome.
+	g := New()
+	a := g.AddVariable("a")
+	b := g.AddVariable("b")
+	g.AddFactor("same", func(assign []Outcome) float64 {
+		if assign[0] == assign[1] {
+			return 1
+		}
+		return 0
+	}, a, b)
+	g.AddFactor("aMal", ThresholdFactor(9, 9, 1), a)
+	pb, err := g.Marginal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb != 1 {
+		t.Errorf("coupled variable P(malicious) = %v, want 1", pb)
+	}
+}
+
+func TestAllZeroFactorsFallBackToPrior(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	g.AddFactor("impossible", func([]Outcome) float64 { return 0 }, v)
+	p, err := g.Marginal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("degenerate graph marginal = %v, want prior fallback 0.5", p)
+	}
+}
+
+func TestVariablesAccessor(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a")
+	b := g.AddVariable("b")
+	vars := g.Variables()
+	if len(vars) != 2 || vars[0] != a || vars[1] != b {
+		t.Errorf("Variables = %v", vars)
+	}
+}
+
+// Property: for a single-variable graph with a threshold factor, the MLE
+// is Malicious exactly when both errors exceed δ (Eq. 2 semantics).
+func TestPropertyEq2Semantics(t *testing.T) {
+	f := func(ePrev, eCur, delta float64) bool {
+		ePrev, eCur = math.Abs(ePrev), math.Abs(eCur)
+		delta = math.Abs(delta)
+		g := New()
+		v := g.AddVariable("s")
+		g.AddFactor("f", ThresholdFactor(ePrev, eCur, delta), v)
+		o, err := g.MLE(v)
+		if err != nil {
+			return false
+		}
+		want := Benign
+		if ePrev > delta && eCur > delta {
+			want = Malicious
+		}
+		return o == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Benign.String() != "benign" || Malicious.String() != "malicious" {
+		t.Error("Outcome.String wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should stringify")
+	}
+}

@@ -1,0 +1,48 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix a.
+func Cholesky(a *Mat) (*Mat, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimensionMismatch
+	}
+	n := a.Rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// IsPSD reports whether a is symmetric positive semi-definite within tol,
+// by attempting a Cholesky factorization of a + tol·I.
+func IsPSD(a *Mat, tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	shifted := a.Add(Identity(a.Rows).Scale(tol))
+	_, err := Cholesky(shifted.Symmetrize())
+	return err == nil
+}

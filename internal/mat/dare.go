@@ -1,0 +1,61 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoConvergence is returned when an iterative solver exceeds its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("mat: iteration did not converge")
+
+// SolveDARE solves the discrete algebraic Riccati equation
+//
+//	P = Aᵀ·P·A − Aᵀ·P·B·(R + Bᵀ·P·B)⁻¹·Bᵀ·P·A + Q
+//
+// by fixed-point iteration from P₀ = Q. It is used to synthesize the LQR
+// recovery gain. A is n×n, B is n×m, Q is n×n PSD, R is m×m PD.
+func SolveDARE(a, b, q, r *Mat, maxIter int, tol float64) (*Mat, error) {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || q.Rows != n || q.Cols != n ||
+		r.Rows != b.Cols || r.Cols != b.Cols {
+		return nil, ErrDimensionMismatch
+	}
+	at := a.T()
+	bt := b.T()
+	p := q.Clone()
+	for iter := 0; iter < maxIter; iter++ {
+		// S = R + Bᵀ P B
+		s := r.Add(bt.Mul(p).Mul(b))
+		// M = S⁻¹ Bᵀ P A
+		m, err := SolveMat(s, bt.Mul(p).Mul(a))
+		if err != nil {
+			return nil, fmt.Errorf("riccati step %d: %w", iter, err)
+		}
+		next := at.Mul(p).Mul(a).Sub(at.Mul(p).Mul(b).Mul(m)).Add(q).Symmetrize()
+		if next.MaxAbsDiff(p) < tol {
+			return next, nil
+		}
+		p = next
+	}
+	return nil, ErrNoConvergence
+}
+
+// LQRGain returns the infinite-horizon discrete LQR state-feedback gain
+//
+//	K = (R + Bᵀ·P·B)⁻¹ · Bᵀ·P·A
+//
+// so that u = −K·(x − x_ref) stabilizes x(t+1) = A·x + B·u.
+func LQRGain(a, b, q, r *Mat) (*Mat, error) {
+	p, err := SolveDARE(a, b, q, r, 10000, 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("lqr gain: %w", err)
+	}
+	bt := b.T()
+	s := r.Add(bt.Mul(p).Mul(b))
+	k, err := SolveMat(s, bt.Mul(p).Mul(a))
+	if err != nil {
+		return nil, fmt.Errorf("lqr gain solve: %w", err)
+	}
+	return k, nil
+}

@@ -1,0 +1,136 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting of a square matrix.
+type LU struct {
+	lu   *Mat
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of a square matrix a with partial
+// pivoting. It returns ErrSingular when a pivot underflows.
+func FactorLU(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimensionMismatch
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the row with the largest magnitude in column k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max < 1e-14 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[k*n+j] = lu.Data[k*n+j], lu.Data[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves a·x = b for x using the factorization.
+func (f *LU) SolveVec(b Vec) (Vec, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, ErrDimensionMismatch
+	}
+	x := NewVec(n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has an implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Solve solves a·X = B column by column.
+func (f *LU) Solve(b *Mat) (*Mat, error) {
+	n := f.lu.Rows
+	if b.Rows != n {
+		return nil, ErrDimensionMismatch
+	}
+	out := New(n, b.Cols)
+	col := NewVec(n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x, err := f.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// Solve solves a·x = b for a square matrix a.
+func Solve(a *Mat, b Vec) (Vec, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// SolveMat solves a·X = B for a square matrix a.
+func SolveMat(a, b *Mat) (*Mat, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns a⁻¹ via LU factorization.
+func Inverse(a *Mat) (*Mat, error) {
+	return SolveMat(a, Identity(a.Rows))
+}

@@ -1,0 +1,113 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// rest of the repository: vectors, matrices, LU and Cholesky factorizations,
+// and a discrete algebraic Riccati solver for LQR gain synthesis.
+//
+// The package is deliberately minimal — it implements exactly the
+// operations the EKF, LQR recovery controller, and system-identification
+// code need, with no external dependencies.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operand shapes are incompatible.
+var ErrDimensionMismatch = errors.New("mat: dimension mismatch")
+
+// Vec is a dense column vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec {
+	return make(Vec, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Vec.Add length %d != %d", len(v), len(w)))
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Vec.Sub length %d != %d", len(v), len(w)))
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns s * v.
+func (v Vec) Scale(s float64) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// AddInPlace sets v = v + w.
+func (v Vec) AddInPlace(w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Vec.AddInPlace length %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Vec.Dot length %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vec) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// MaxAbs returns the largest absolute entry of v, or 0 for an empty vector.
+func (v Vec) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// IsFinite reports whether every entry of v is finite (no NaN or Inf).
+func (v Vec) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+// Package metrics implements the paper's evaluation metrics (§5.2,
+// Appendix A.5): recovery-stability RMSD over the RV's attitude (Eq. 5),
+// normalized RMSD (Eq. 13), percentage mission delay against a min-max
+// baseline completion time (Eq. 6/14), and aggregate success/crash rates.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/vehicle"
+)
+
+// AttitudeRMSD computes the Root Mean Square Deviation between a
+// recovery-activated mission's attitude series and the attack-free ground
+// truth on the same trajectory (Eq. 5), element-wise over roll, pitch, and
+// yaw with angular wrapping, over the overlapping prefix of the two
+// series.
+func AttitudeRMSD(recovered, groundTruth [][3]float64) float64 {
+	n := len(recovered)
+	if len(groundTruth) < n {
+		n = len(groundTruth)
+	}
+	if n == 0 {
+		return 0
+	}
+	var ss float64
+	for i := 0; i < n; i++ {
+		for axis := 0; axis < 3; axis++ {
+			d := vehicle.WrapAngle(recovered[i][axis] - groundTruth[i][axis])
+			ss += d * d
+		}
+	}
+	return math.Sqrt(ss / float64(3*n))
+}
+
+// NormalizeRMSD maps an RMSD value into [0, 1] relative to the minimum
+// and maximum RMSD observed across recovery-activated missions (Eq. 13).
+// A degenerate range returns 0.
+func NormalizeRMSD(rmsd, minRMSD, maxRMSD float64) float64 {
+	if maxRMSD <= minRMSD {
+		return 0
+	}
+	v := (rmsd - minRMSD) / (maxRMSD - minRMSD)
+	return vehicle.Clamp(v, 0, 1)
+}
+
+// BaselineTime is the Eq. 14 min-max baseline mission completion time.
+func BaselineTime(tMin, tMax float64) float64 {
+	return (tMin + tMax) / 2
+}
+
+// PercentMissionDelay is the Eq. 6 percentage mission delay of a
+// recovery-activated mission against the attack-free ground truth,
+// normalized by the baseline completion time. A non-positive baseline
+// returns 0.
+func PercentMissionDelay(tRecovery, tGroundTruth, tBaseline float64) float64 {
+	if tBaseline <= 0 {
+		return 0
+	}
+	return (tRecovery - tGroundTruth) / tBaseline * 100
+}
+
+// Rate returns 100·hits/total as a percentage, 0 for an empty total.
+func Rate(hits, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
+}
+
+// MinMax returns the smallest and largest value of xs; (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (minV, maxV float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	minV, maxV = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return minV, maxV
+}

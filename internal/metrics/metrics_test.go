@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttitudeRMSDIdentical(t *testing.T) {
+	series := [][3]float64{{0.1, 0.2, 0.3}, {0.2, 0.1, 0.0}}
+	if got := AttitudeRMSD(series, series); got != 0 {
+		t.Errorf("RMSD of identical series = %v, want 0", got)
+	}
+}
+
+func TestAttitudeRMSDKnownValue(t *testing.T) {
+	a := [][3]float64{{0.1, 0, 0}}
+	b := [][3]float64{{0, 0, 0}}
+	want := math.Sqrt(0.1 * 0.1 / 3)
+	if got := AttitudeRMSD(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSD = %v, want %v", got, want)
+	}
+}
+
+func TestAttitudeRMSDWrapsYaw(t *testing.T) {
+	a := [][3]float64{{0, 0, math.Pi - 0.01}}
+	b := [][3]float64{{0, 0, -math.Pi + 0.01}}
+	if got := AttitudeRMSD(a, b); got > 0.05 {
+		t.Errorf("RMSD across the wrap = %v, want ≈ 0.0115", got)
+	}
+}
+
+func TestAttitudeRMSDDifferentLengths(t *testing.T) {
+	a := [][3]float64{{0.1, 0, 0}, {0.1, 0, 0}, {9, 9, 9}}
+	b := [][3]float64{{0, 0, 0}, {0, 0, 0}}
+	// Only the overlapping prefix counts; the wild third sample of a is
+	// ignored.
+	want := math.Sqrt(0.01 / 3)
+	if got := AttitudeRMSD(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSD = %v, want %v", got, want)
+	}
+}
+
+func TestAttitudeRMSDEmpty(t *testing.T) {
+	if got := AttitudeRMSD(nil, nil); got != 0 {
+		t.Errorf("empty RMSD = %v", got)
+	}
+}
+
+func TestNormalizeRMSD(t *testing.T) {
+	tests := []struct {
+		name             string
+		rmsd, minV, maxV float64
+		want             float64
+	}{
+		{name: "min", rmsd: 1, minV: 1, maxV: 3, want: 0},
+		{name: "max", rmsd: 3, minV: 1, maxV: 3, want: 1},
+		{name: "mid", rmsd: 2, minV: 1, maxV: 3, want: 0.5},
+		{name: "degenerate", rmsd: 2, minV: 2, maxV: 2, want: 0},
+		{name: "below clamps", rmsd: 0, minV: 1, maxV: 3, want: 0},
+		{name: "above clamps", rmsd: 9, minV: 1, maxV: 3, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NormalizeRMSD(tt.rmsd, tt.minV, tt.maxV); got != tt.want {
+				t.Errorf("NormalizeRMSD = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBaselineTime(t *testing.T) {
+	if got := BaselineTime(40, 60); got != 50 {
+		t.Errorf("BaselineTime = %v, want 50", got)
+	}
+}
+
+func TestPercentMissionDelay(t *testing.T) {
+	// Recovery mission took 60 s, ground truth 50 s, baseline 50 s → 20%.
+	if got := PercentMissionDelay(60, 50, 50); got != 20 {
+		t.Errorf("PMD = %v, want 20", got)
+	}
+	if got := PercentMissionDelay(60, 50, 0); got != 0 {
+		t.Errorf("PMD with zero baseline = %v, want 0", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(3, 4); got != 75 {
+		t.Errorf("Rate = %v, want 75", got)
+	}
+	if got := Rate(1, 0); got != 0 {
+		t.Errorf("Rate with zero total = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1})
+	if lo != -1 || hi != 4 {
+		t.Errorf("MinMax = (%v, %v)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("MinMax(nil) = (%v, %v)", lo, hi)
+	}
+}
+
+// Property: RMSD is symmetric and non-negative.
+func TestPropertyRMSDSymmetricNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		a := make([][3]float64, n)
+		b := make([][3]float64, n)
+		for i := range a {
+			for j := 0; j < 3; j++ {
+				a[i][j] = rng.NormFloat64()
+				b[i][j] = rng.NormFloat64()
+			}
+		}
+		ab := AttitudeRMSD(a, b)
+		ba := AttitudeRMSD(b, a)
+		return ab >= 0 && math.Abs(ab-ba) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalized RMSD always lands in [0, 1].
+func TestPropertyNormalizeBounded(t *testing.T) {
+	f := func(r, lo, hi float64) bool {
+		// Constrain to a physical magnitude range; astronomically large
+		// inputs overflow the subtraction and are not meaningful RMSDs.
+		r = math.Mod(math.Abs(r), 1e6)
+		lo = math.Mod(lo, 1e6)
+		hi = math.Mod(hi, 1e6)
+		v := NormalizeRMSD(r, lo, hi)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

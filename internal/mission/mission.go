@@ -1,0 +1,305 @@
+// Package mission defines autonomous navigation plans — a start point,
+// intermediate waypoints, and a destination — with the path shapes of the
+// paper's Table 8 mission mix (straight, multi-waypoint, circular, and
+// three polygonal shapes), plus the phase tracking (takeoff, cruise,
+// landing) the Fig. 2 / Fig. 9 experiments attack.
+package mission
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Waypoint is a target position in the world frame. Z is zero for rovers.
+type Waypoint struct {
+	X, Y, Z float64
+}
+
+// DistanceTo returns the 3-D distance between two waypoints.
+func (w Waypoint) DistanceTo(o Waypoint) float64 {
+	dx, dy, dz := w.X-o.X, w.Y-o.Y, w.Z-o.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// PathKind names the Table 8 path families.
+type PathKind int
+
+// Table 8 path families.
+const (
+	Straight PathKind = iota + 1
+	MultiWaypoint
+	Circular
+	Polygon1
+	Polygon2
+	Polygon3
+)
+
+// String returns the Table 8 shorthand for the path kind.
+func (k PathKind) String() string {
+	switch k {
+	case Straight:
+		return "S"
+	case MultiWaypoint:
+		return "MW"
+	case Circular:
+		return "C"
+	case Polygon1:
+		return "P1"
+	case Polygon2:
+		return "P2"
+	case Polygon3:
+		return "P3"
+	default:
+		return fmt.Sprintf("PathKind(%d)", int(k))
+	}
+}
+
+// Plan is one autonomous mission: takeoff (drones), the waypoint chain,
+// then landing at the final waypoint.
+type Plan struct {
+	Kind PathKind
+	// Altitude is the cruise altitude for drones; 0 for rovers.
+	Altitude float64
+	// Waypoints is the ordered chain; the last one is the destination.
+	Waypoints []Waypoint
+}
+
+// Destination returns the final waypoint.
+func (p Plan) Destination() Waypoint {
+	if len(p.Waypoints) == 0 {
+		return Waypoint{}
+	}
+	return p.Waypoints[len(p.Waypoints)-1]
+}
+
+// TotalDistance returns the path length through all waypoints from the
+// origin.
+func (p Plan) TotalDistance() float64 {
+	var d float64
+	prev := Waypoint{Z: p.Altitude}
+	for _, w := range p.Waypoints {
+		d += prev.DistanceTo(w)
+		prev = w
+	}
+	return d
+}
+
+// NewStraight returns a straight-line plan of the given length along +x
+// (the last-mile delivery shape).
+func NewStraight(length, altitude float64) Plan {
+	return Plan{
+		Kind:     Straight,
+		Altitude: altitude,
+		Waypoints: []Waypoint{
+			{X: length, Y: 0, Z: altitude},
+		},
+	}
+}
+
+// NewMultiWaypoint returns a dog-leg plan through n segments of the given
+// leg length, alternating heading (the generic delivery shape).
+func NewMultiWaypoint(n int, leg, altitude float64) Plan {
+	wps := make([]Waypoint, 0, n)
+	x, y := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x += leg
+		} else {
+			y += leg * 0.6
+		}
+		wps = append(wps, Waypoint{X: x, Y: y, Z: altitude})
+	}
+	return Plan{Kind: MultiWaypoint, Altitude: altitude, Waypoints: wps}
+}
+
+// NewCircular returns a plan approximating a circle of the given radius
+// with segments waypoints (the surveillance/agriculture shape). The plan
+// starts and ends at the circle's east point.
+func NewCircular(radius float64, segments int, altitude float64) Plan {
+	if segments < 3 {
+		segments = 3
+	}
+	wps := make([]Waypoint, 0, segments+1)
+	for i := 1; i <= segments; i++ {
+		a := 2 * math.Pi * float64(i) / float64(segments)
+		wps = append(wps, Waypoint{
+			X: radius * math.Cos(a),
+			Y: radius * math.Sin(a),
+			Z: altitude,
+		})
+	}
+	return Plan{Kind: Circular, Altitude: altitude, Waypoints: wps}
+}
+
+// NewPolygon returns a closed polygonal patrol of the given side count and
+// side length (the warehouse-rover shape), tagged as kind (Polygon1–3).
+func NewPolygon(kind PathKind, sides int, side, altitude float64) Plan {
+	if sides < 3 {
+		sides = 3
+	}
+	wps := make([]Waypoint, 0, sides)
+	x, y := 0.0, 0.0
+	heading := 0.0
+	turn := 2 * math.Pi / float64(sides)
+	for i := 0; i < sides; i++ {
+		x += side * math.Cos(heading)
+		y += side * math.Sin(heading)
+		heading += turn
+		wps = append(wps, Waypoint{X: x, Y: y, Z: altitude})
+	}
+	return Plan{Kind: kind, Altitude: altitude, Waypoints: wps}
+}
+
+// NewOfKind builds a plan of the given kind with scale-appropriate
+// dimensions drawn from rng, at the given altitude (0 for rovers).
+func NewOfKind(kind PathKind, altitude float64, rng *rand.Rand) Plan {
+	scale := 0.8 + 0.4*rng.Float64()
+	switch kind {
+	case Straight:
+		return NewStraight(60*scale, altitude)
+	case MultiWaypoint:
+		return NewMultiWaypoint(3+rng.Intn(3), 30*scale, altitude)
+	case Circular:
+		return NewCircular(30*scale, 8, altitude)
+	case Polygon1:
+		return NewPolygon(Polygon1, 3, 40*scale, altitude)
+	case Polygon2:
+		return NewPolygon(Polygon2, 4, 35*scale, altitude)
+	case Polygon3:
+		return NewPolygon(Polygon3, 5, 30*scale, altitude)
+	default:
+		return NewStraight(60*scale, altitude)
+	}
+}
+
+// PaperMix returns the Table 8 mission mix: 70 S, 70 MW, 50 C, and 50 of
+// each polygonal path — 340 plans total — with sizes drawn from rng.
+func PaperMix(altitude float64, rng *rand.Rand) []Plan {
+	counts := []struct {
+		kind PathKind
+		n    int
+	}{
+		{kind: Straight, n: 70},
+		{kind: MultiWaypoint, n: 70},
+		{kind: Circular, n: 50},
+		{kind: Polygon1, n: 50},
+		{kind: Polygon2, n: 50},
+		{kind: Polygon3, n: 50},
+	}
+	var out []Plan
+	for _, c := range counts {
+		for i := 0; i < c.n; i++ {
+			out = append(out, NewOfKind(c.kind, altitude, rng))
+		}
+	}
+	return out
+}
+
+// Phase is the mission phase; the Fig. 2 and Fig. 9 attacks specifically
+// target takeoff and landing.
+type Phase int
+
+// Mission phases.
+const (
+	PhaseTakeoff Phase = iota + 1
+	PhaseCruise
+	PhaseLanding
+	PhaseComplete
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTakeoff:
+		return "takeoff"
+	case PhaseCruise:
+		return "cruise"
+	case PhaseLanding:
+		return "landing"
+	case PhaseComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Tracker walks a vehicle through a plan: takeoff to altitude, visit each
+// waypoint within the acceptance radius, then descend at the destination.
+type Tracker struct {
+	plan   Plan
+	accept float64
+	index  int
+	phase  Phase
+}
+
+// NewTracker returns a tracker for plan with the given waypoint acceptance
+// radius in metres. Rover plans (zero altitude) skip the takeoff phase.
+func NewTracker(plan Plan, acceptRadius float64) *Tracker {
+	phase := PhaseTakeoff
+	if plan.Altitude == 0 {
+		phase = PhaseCruise
+	}
+	return &Tracker{plan: plan, accept: acceptRadius, phase: phase}
+}
+
+// Plan returns the tracked plan.
+func (tr *Tracker) Plan() Plan { return tr.plan }
+
+// Phase returns the current mission phase.
+func (tr *Tracker) Phase() Phase { return tr.phase }
+
+// Target returns the current navigation target for a vehicle at (x, y, z):
+// the climb point during takeoff, the active waypoint during cruise, and
+// the ground point under the destination during landing.
+func (tr *Tracker) Target() Waypoint {
+	switch tr.phase {
+	case PhaseTakeoff:
+		return Waypoint{X: 0, Y: 0, Z: tr.plan.Altitude}
+	case PhaseLanding, PhaseComplete:
+		d := tr.plan.Destination()
+		return Waypoint{X: d.X, Y: d.Y, Z: 0}
+	default:
+		if tr.index < len(tr.plan.Waypoints) {
+			return tr.plan.Waypoints[tr.index]
+		}
+		return tr.plan.Destination()
+	}
+}
+
+// Advance updates the phase machine from the vehicle's believed position
+// and returns the (possibly new) phase. The believed position is whatever
+// state estimate the autopilot is flying on — under attack it may be
+// wrong, exactly as onboard.
+func (tr *Tracker) Advance(x, y, z float64) Phase {
+	switch tr.phase {
+	case PhaseTakeoff:
+		if math.Abs(z-tr.plan.Altitude) < tr.accept {
+			tr.phase = PhaseCruise
+		}
+	case PhaseCruise:
+		if tr.index < len(tr.plan.Waypoints) {
+			wp := tr.plan.Waypoints[tr.index]
+			dx, dy := x-wp.X, y-wp.Y
+			if math.Sqrt(dx*dx+dy*dy) < tr.accept {
+				tr.index++
+			}
+		}
+		if tr.index >= len(tr.plan.Waypoints) {
+			if tr.plan.Altitude > 0 {
+				tr.phase = PhaseLanding
+			} else {
+				tr.phase = PhaseComplete
+			}
+		}
+	case PhaseLanding:
+		if z < 0.3 {
+			tr.phase = PhaseComplete
+		}
+	}
+	return tr.phase
+}
+
+// Done reports whether the mission has completed (by the tracker's own
+// belief).
+func (tr *Tracker) Done() bool { return tr.phase == PhaseComplete }

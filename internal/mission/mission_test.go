@@ -1,0 +1,190 @@
+package mission
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaypointDistance(t *testing.T) {
+	a := Waypoint{X: 0, Y: 0, Z: 0}
+	b := Waypoint{X: 3, Y: 4, Z: 0}
+	if got := a.DistanceTo(b); got != 5 {
+		t.Errorf("DistanceTo = %v, want 5", got)
+	}
+}
+
+func TestNewStraight(t *testing.T) {
+	p := NewStraight(60, 10)
+	if len(p.Waypoints) != 1 {
+		t.Fatalf("waypoints = %d", len(p.Waypoints))
+	}
+	if p.Destination() != (Waypoint{X: 60, Z: 10}) {
+		t.Errorf("destination = %+v", p.Destination())
+	}
+	if p.Kind != Straight {
+		t.Errorf("kind = %v", p.Kind)
+	}
+}
+
+func TestNewCircularClosesLoop(t *testing.T) {
+	p := NewCircular(30, 8, 10)
+	if len(p.Waypoints) != 8 {
+		t.Fatalf("waypoints = %d", len(p.Waypoints))
+	}
+	// All waypoints on the circle.
+	for _, w := range p.Waypoints {
+		r := math.Hypot(w.X, w.Y)
+		if math.Abs(r-30) > 1e-9 {
+			t.Errorf("waypoint %+v off circle: r = %v", w, r)
+		}
+	}
+	// Ends back at the east point.
+	d := p.Destination()
+	if math.Abs(d.X-30) > 1e-9 || math.Abs(d.Y) > 1e-9 {
+		t.Errorf("destination = %+v, want (30, 0)", d)
+	}
+}
+
+func TestNewPolygonCloses(t *testing.T) {
+	p := NewPolygon(Polygon2, 4, 40, 0)
+	if len(p.Waypoints) != 4 {
+		t.Fatalf("waypoints = %d", len(p.Waypoints))
+	}
+	d := p.Destination()
+	if math.Abs(d.X) > 1e-9 || math.Abs(d.Y) > 1e-9 {
+		t.Errorf("square should return to origin, got %+v", d)
+	}
+}
+
+func TestPaperMixTable8(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	plans := PaperMix(10, rng)
+	if len(plans) != 340 {
+		t.Fatalf("total = %d, want 340 (Table 8)", len(plans))
+	}
+	counts := make(map[PathKind]int)
+	for _, p := range plans {
+		counts[p.Kind]++
+	}
+	wants := map[PathKind]int{
+		Straight: 70, MultiWaypoint: 70, Circular: 50,
+		Polygon1: 50, Polygon2: 50, Polygon3: 50,
+	}
+	for kind, want := range wants {
+		if counts[kind] != want {
+			t.Errorf("%v count = %d, want %d", kind, counts[kind], want)
+		}
+	}
+}
+
+func TestTrackerDronePhases(t *testing.T) {
+	tr := NewTracker(NewStraight(50, 10), 2)
+	if tr.Phase() != PhaseTakeoff {
+		t.Fatalf("initial phase = %v", tr.Phase())
+	}
+	// Target during takeoff is the climb point.
+	if got := tr.Target(); got.Z != 10 || got.X != 0 {
+		t.Errorf("takeoff target = %+v", got)
+	}
+	tr.Advance(0, 0, 9.5)
+	if tr.Phase() != PhaseCruise {
+		t.Fatalf("phase after reaching altitude = %v", tr.Phase())
+	}
+	if got := tr.Target(); got.X != 50 {
+		t.Errorf("cruise target = %+v", got)
+	}
+	tr.Advance(49.5, 0, 10)
+	if tr.Phase() != PhaseLanding {
+		t.Fatalf("phase after final waypoint = %v", tr.Phase())
+	}
+	if got := tr.Target(); got.Z != 0 {
+		t.Errorf("landing target = %+v", got)
+	}
+	tr.Advance(50, 0, 0.1)
+	if !tr.Done() {
+		t.Error("mission should be complete on touchdown")
+	}
+}
+
+func TestTrackerRoverSkipsTakeoff(t *testing.T) {
+	tr := NewTracker(NewPolygon(Polygon1, 3, 20, 0), 1.5)
+	if tr.Phase() != PhaseCruise {
+		t.Fatalf("rover initial phase = %v", tr.Phase())
+	}
+	// Visit all three corners.
+	for _, w := range tr.Plan().Waypoints {
+		tr.Advance(w.X, w.Y, 0)
+	}
+	if !tr.Done() {
+		t.Errorf("rover mission should complete, phase = %v", tr.Phase())
+	}
+}
+
+func TestTrackerMultiWaypointOrder(t *testing.T) {
+	plan := NewMultiWaypoint(4, 20, 10)
+	tr := NewTracker(plan, 2)
+	tr.Advance(0, 0, 10) // finish takeoff
+	first := tr.Target()
+	if first != plan.Waypoints[0] {
+		t.Errorf("first target = %+v, want %+v", first, plan.Waypoints[0])
+	}
+	tr.Advance(first.X, first.Y, 10)
+	if got := tr.Target(); got != plan.Waypoints[1] {
+		t.Errorf("second target = %+v, want %+v", got, plan.Waypoints[1])
+	}
+}
+
+func TestTotalDistancePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range []PathKind{Straight, MultiWaypoint, Circular, Polygon1, Polygon2, Polygon3} {
+		p := NewOfKind(kind, 10, rng)
+		if p.TotalDistance() <= 0 {
+			t.Errorf("%v: non-positive distance", kind)
+		}
+	}
+}
+
+func TestEmptyPlanDestination(t *testing.T) {
+	var p Plan
+	if p.Destination() != (Waypoint{}) {
+		t.Error("empty plan destination should be origin")
+	}
+}
+
+// Property: a tracker never regresses phases and always terminates when
+// driven along its own targets.
+func TestPropertyTrackerProgress(t *testing.T) {
+	f := func(seed int64, kind0 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kind := PathKind(1 + int(kind0)%6)
+		plan := NewOfKind(kind, 10, rng)
+		tr := NewTracker(plan, 2)
+		prev := tr.Phase()
+		for i := 0; i < 10000 && !tr.Done(); i++ {
+			tgt := tr.Target()
+			ph := tr.Advance(tgt.X, tgt.Y, tgt.Z)
+			if ph < prev {
+				return false
+			}
+			prev = ph
+		}
+		return tr.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathKindString(t *testing.T) {
+	if Straight.String() != "S" || Polygon3.String() != "P3" {
+		t.Error("PathKind.String wrong")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseTakeoff.String() != "takeoff" || PhaseComplete.String() != "complete" {
+		t.Error("Phase.String wrong")
+	}
+}

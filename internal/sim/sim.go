@@ -1,0 +1,292 @@
+// Package sim is the closed-loop mission harness: it wires the vehicle
+// physics, wind, sensor suite, SDA injection, and a defense framework into
+// one simulated mission and reports the outcome metrics the paper's
+// evaluation uses (mission success, crash, deviation, delay, overheads).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/diagnosis"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/vehicle"
+	"repro/internal/wind"
+)
+
+// Config describes one mission run.
+type Config struct {
+	Profile  vehicle.Profile
+	Plan     mission.Plan
+	Strategy core.Strategy
+
+	// Delta are the diagnosis thresholds; zero value uses
+	// core.DefaultDelta for the profile.
+	Delta diagnosis.Delta
+	// Diagnoser optionally overrides the diagnosis technique.
+	Diagnoser diagnosis.Diagnoser
+	// Detector optionally overrides the attack detector.
+	Detector detect.Detector
+	// WindowSec is the checkpoint window (default 15 s).
+	WindowSec float64
+
+	// Attacks is the SDA schedule; nil means attack-free.
+	Attacks *attack.Schedule
+
+	// DropoutAt fails the DropoutSensors at the given mission time
+	// (failure injection; zero disables).
+	DropoutAt      float64
+	DropoutSensors sensors.TypeSet
+
+	// WindMean/WindGust/WindDir parameterize the wind model.
+	WindMean, WindGust, WindDir float64
+
+	// Seed drives all stochastic components (sensor noise, wind).
+	Seed int64
+	// DT is the physics/control period (default 0.01 s).
+	DT float64
+	// MaxSec is the mission time budget (default 240 s).
+	MaxSec float64
+	// TraceEvery records a trace point every N ticks (0 disables).
+	TraceEvery int
+	// CollectErrors records the framework's per-tick diagnosis error
+	// vector (decimated 1:5) for δ calibration.
+	CollectErrors bool
+}
+
+// TracePoint is one decimated sample of the mission for figures.
+type TracePoint struct {
+	T            float64
+	Truth        vehicle.State
+	Believed     vehicle.State
+	Recovering   bool
+	AlertActive  bool
+	AttackActive bool
+}
+
+// Result is the mission outcome.
+type Result struct {
+	// Completed reports whether the mission tracker reached its end.
+	Completed bool
+	// Crashed reports a physical crash (ground impact or loss of
+	// attitude).
+	Crashed     bool
+	CrashTime   float64
+	CrashReason string
+	// Stalled reports budget exhaustion without completion or crash.
+	Stalled bool
+	// FinalDistance is the true horizontal distance from the destination
+	// at mission end.
+	FinalDistance float64
+	// Success is the paper's mission-success criterion: completed, no
+	// crash, final deviation under 10 m (§5.2).
+	Success bool
+	// Duration is the mission time (simulated seconds).
+	Duration float64
+
+	// DiagnosedDuringAttack is the last diagnosis verdict made while an
+	// attack was active (for TP accounting).
+	DiagnosedDuringAttack sensors.TypeSet
+	// DiagnosisRanDuringAttack reports whether a diagnosis verdict was
+	// produced while the attack was active.
+	DiagnosisRanDuringAttack bool
+	// RecoveryActivations counts recovery episodes.
+	RecoveryActivations int
+	// LastRecoveryDiagnosis is the diagnosis verdict of the most recent
+	// recovery activation (attack or not — used by the FP experiments to
+	// see what a gratuitous activation flagged).
+	LastRecoveryDiagnosis sensors.TypeSet
+
+	// AttitudeSeries holds decimated [roll pitch yaw] samples for RMSD.
+	AttitudeSeries [][3]float64
+	// Trace holds the decimated mission trace when requested.
+	Trace []TracePoint
+
+	// EnergyProxy integrates |thrust|·dt (the motor-effort battery
+	// proxy).
+	EnergyProxy float64
+	// DefenseNS and Ticks support the CPU-overhead accounting; TotalNS is
+	// the wall time of the whole control+physics loop.
+	DefenseNS int64
+	TotalNS   int64
+	Ticks     int
+	// ErrorSamples holds decimated diagnosis error vectors when
+	// CollectErrors is set.
+	ErrorSamples []sensors.PhysState
+	// MemoryBytes is the peak checkpoint buffer footprint.
+	MemoryBytes int
+}
+
+// SuccessRadius is the paper's §5.2 mission-success threshold: 2× the
+// standard 5 m GPS offset.
+const SuccessRadius = 10.0
+
+// Run executes one mission and returns its outcome.
+func Run(cfg Config) (Result, error) {
+	if cfg.DT <= 0 {
+		cfg.DT = 0.01
+	}
+	if cfg.MaxSec <= 0 {
+		cfg.MaxSec = 240
+	}
+	if cfg.Delta == (diagnosis.Delta{}) {
+		cfg.Delta = core.DefaultDelta(cfg.Profile)
+	}
+	fw, err := core.New(core.Config{
+		Profile:   cfg.Profile,
+		DT:        cfg.DT,
+		Delta:     cfg.Delta,
+		WindowSec: cfg.WindowSec,
+		Diagnoser: cfg.Diagnoser,
+		Detector:  cfg.Detector,
+	}, cfg.Strategy)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	suite := sensors.NewSuite(cfg.Profile, rand.New(rand.NewSource(rng.Int63())))
+	gusts := wind.New(cfg.WindMean, cfg.WindDir, cfg.WindGust, rand.New(rand.NewSource(rng.Int63())))
+	tracker := mission.NewTracker(cfg.Plan, 2.0)
+
+	var truth vehicle.State
+	fw.Init(truth)
+
+	var res Result
+	var lastU vehicle.Input
+	tiltTime := 0.0
+	dt := cfg.DT
+	tick := 0
+
+	dropoutArmed := cfg.DropoutAt > 0 && cfg.DropoutSensors.Len() > 0
+	for t := 0.0; t < cfg.MaxSec; t += dt {
+		if tracker.Done() {
+			res.Completed = true
+			break
+		}
+		if dropoutArmed && t >= cfg.DropoutAt {
+			suite.SetDropout(cfg.DropoutSensors)
+			dropoutArmed = false
+		}
+		w := gusts.Step(dt)
+		var bias sensors.Bias
+		attackActive := false
+		if cfg.Attacks != nil {
+			// The injection reaches the sensors only while the vehicle is
+			// physically inside the emitters' range (Table 2).
+			bias = cfg.Attacks.BiasAtPos(t, truth.X, truth.Y)
+			attackActive = cfg.Attacks.InRangeAt(t, truth.X, truth.Y)
+		}
+
+		// True acceleration for the accelerometer model.
+		accel := trueAccel(cfg.Profile, truth, lastU, w)
+		meas := suite.Sample(t, dt, truth, accel, bias)
+
+		tickStart := time.Now()
+		u := fw.Tick(t, meas, tracker.Target())
+		res.TotalNS += time.Since(tickStart).Nanoseconds()
+		lastU = u
+		if cfg.CollectErrors && tick%5 == 0 {
+			res.ErrorSamples = append(res.ErrorSamples, fw.LastError())
+		}
+		// Advance the mission plan on the post-tick believed state, i.e.
+		// after detection/diagnosis/reconstruction have had the chance to
+		// scrub an attack-induced jump out of the estimate this tick.
+		believed := fw.Believed()
+		tracker.Advance(believed.X, believed.Y, believed.Z)
+
+		// Physics.
+		if cfg.Profile.IsQuad() {
+			truth = cfg.Profile.Quad.Step(truth, u, w, dt)
+		} else {
+			truth = cfg.Profile.Rover.Step(truth, u, w, dt)
+		}
+
+		// Telemetry.
+		res.EnergyProxy += math.Abs(u.Thrust) * dt
+		if attackActive && fw.DiagnosisRan() {
+			res.DiagnosedDuringAttack = fw.Compromised()
+			res.DiagnosisRanDuringAttack = true
+		}
+		if fw.Recovering() {
+			if c := fw.Compromised(); c.Len() > 0 {
+				res.LastRecoveryDiagnosis = c
+			}
+		}
+		if mb := fw.MemoryBytes(); mb > res.MemoryBytes {
+			res.MemoryBytes = mb
+		}
+		if tick%10 == 0 {
+			res.AttitudeSeries = append(res.AttitudeSeries, [3]float64{truth.Roll, truth.Pitch, truth.Yaw})
+		}
+		if cfg.TraceEvery > 0 && tick%cfg.TraceEvery == 0 {
+			res.Trace = append(res.Trace, TracePoint{
+				T: t, Truth: truth, Believed: fw.Believed(),
+				Recovering: fw.Recovering(), AlertActive: fw.AlertActive(),
+				AttackActive: attackActive,
+			})
+		}
+		tick++
+		res.Duration = t
+
+		// Crash detection (§5.2: physically damaged).
+		if crashed, why := crashCheck(cfg.Profile, truth, tracker.Phase(), &tiltTime, dt); crashed {
+			res.Crashed = true
+			res.CrashTime = t
+			res.CrashReason = why
+			break
+		}
+	}
+	if tracker.Done() {
+		res.Completed = true
+	}
+	res.Stalled = !res.Completed && !res.Crashed
+
+	dest := cfg.Plan.Destination()
+	res.FinalDistance = truth.HorizontalDistanceTo(dest.X, dest.Y)
+	res.Success = res.Completed && !res.Crashed && res.FinalDistance < SuccessRadius
+	res.RecoveryActivations = fw.RecoveryActivations()
+	res.DefenseNS, res.Ticks = fw.DefenseOverheadNS()
+	return res, nil
+}
+
+// trueAccel returns the translational acceleration of the vehicle at its
+// current state (what a perfect accelerometer would measure in this
+// simplified world-frame model).
+func trueAccel(p vehicle.Profile, s vehicle.State, u vehicle.Input, w vehicle.Wind) [3]float64 {
+	if p.IsQuad() {
+		d := p.Quad.Derivative(s, u, w)
+		return [3]float64{d.VX, d.VY, d.VZ}
+	}
+	d := p.Rover.Derivative(s, u, w)
+	return [3]float64{d.VX, d.VY, 0}
+}
+
+// crashCheck classifies physical crashes: a hard ground impact outside
+// the landing phase, sustained loss of attitude, or gross divergence.
+func crashCheck(p vehicle.Profile, s vehicle.State, phase mission.Phase, tiltTime *float64, dt float64) (bool, string) {
+	if dist := math.Hypot(s.X, s.Y); dist > 2000 {
+		return true, "diverged"
+	}
+	if !p.IsQuad() {
+		return false, ""
+	}
+	if s.Z <= 0.01 && phase != mission.PhaseLanding && phase != mission.PhaseComplete && phase != mission.PhaseTakeoff {
+		return true, "ground impact"
+	}
+	if math.Abs(s.Roll) > 1.2 || math.Abs(s.Pitch) > 1.2 {
+		*tiltTime += dt
+		if *tiltTime > 0.3 {
+			return true, "attitude loss"
+		}
+	} else {
+		*tiltTime = 0
+	}
+	return false, ""
+}

@@ -1,0 +1,72 @@
+package sysid
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/vehicle"
+)
+
+// CollectQuadTrace flies excitation maneuvers on the true quadcopter model
+// and records identification samples, mirroring the paper's data
+// collection ("we run missions capturing sensor readings and control
+// signals to the rotors in various modes of operation of a drone —
+// takeoff, loiter, auto, circle, and land"). noise adds Gaussian
+// measurement noise of the given stdev to the recorded accelerations.
+func CollectQuadTrace(q vehicle.Quadcopter, seconds, dt, noise float64, rng *rand.Rand) []Sample {
+	var out []Sample
+	s := vehicle.State{Z: 10}
+	hover := q.HoverThrust()
+	n := int(seconds / dt)
+	out = make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		// Excitation: thrust chirp plus small random moments — rich enough
+		// to identify mass, drag, and all three inertias.
+		u := vehicle.Input{
+			Thrust: hover * (1 + 0.25*chirp(t)),
+			MRoll:  0.04 * q.IX / 0.02 * (rng.Float64() - 0.5),
+			MPitch: 0.04 * q.IY / 0.02 * (rng.Float64() - 0.5),
+			MYaw:   0.02 * q.IZ / 0.02 * (rng.Float64() - 0.5),
+		}
+		d := q.Derivative(s, u, vehicle.Wind{})
+		sample := Sample{
+			State: s,
+			Input: u,
+			Accel: [3]float64{
+				d.VX + noise*rng.NormFloat64(),
+				d.VY + noise*rng.NormFloat64(),
+				d.VZ + noise*rng.NormFloat64(),
+			},
+			AngAccel: [3]float64{
+				d.WRoll + noise*rng.NormFloat64(),
+				d.WPitch + noise*rng.NormFloat64(),
+				d.WYaw + noise*rng.NormFloat64(),
+			},
+		}
+		out = append(out, sample)
+		s = q.Step(s, u, vehicle.Wind{}, dt)
+		// Keep the excitation from tumbling or grounding the vehicle.
+		if s.Z < 2 {
+			s.Z = 10
+			s.VZ = 0
+		}
+		if abs(s.Roll) > 0.6 || abs(s.Pitch) > 0.6 {
+			s.Roll, s.Pitch = 0, 0
+			s.WRoll, s.WPitch = 0, 0
+		}
+	}
+	return out
+}
+
+// chirp is a multi-frequency excitation signal in [−1, 1].
+func chirp(t float64) float64 {
+	return 0.5*math.Sin(0.7*t) + 0.3*math.Sin(2.3*t) + 0.2*math.Sin(5.1*t)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,134 @@
+// Package sysid implements the system identification of Appendix A.2:
+// the EKF's non-linear dynamics model parameters are learned from a
+// dataset of control actions and sensor measurements collected on the
+// subject RVs, with the model parameters optimized by least squares
+// ("minimize squared error between the model's estimations and the
+// observed values").
+//
+// For the quadcopter the identified parameters are the mass, the linear
+// drag coefficient, and the moments of inertia; for the rover, the drag
+// coefficient and effective wheelbase. The fitted model is what the
+// reconstruction/recovery stack would deploy on a vehicle whose true
+// parameters are unknown.
+package sysid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/vehicle"
+)
+
+// ErrInsufficientData is returned when the trace is too short to fit.
+var ErrInsufficientData = errors.New("sysid: insufficient data")
+
+// Sample is one training tuple: the vehicle state, the actuation applied,
+// and the observed translational/rotational accelerations at that
+// instant.
+type Sample struct {
+	State vehicle.State
+	Input vehicle.Input
+	// Accel is the observed world-frame translational acceleration.
+	Accel [3]float64
+	// AngAccel is the observed body angular acceleration.
+	AngAccel [3]float64
+}
+
+// QuadParams are the identified quadcopter parameters.
+type QuadParams struct {
+	Mass       float64
+	DragCoef   float64
+	IX, IY, IZ float64
+}
+
+// Model builds a quadcopter dynamics model from the identified
+// parameters, inheriting the angular drag of the template.
+func (p QuadParams) Model(template vehicle.Quadcopter) vehicle.Quadcopter {
+	out := template
+	out.Mass = p.Mass
+	out.DragCoef = p.DragCoef
+	out.IX, out.IY, out.IZ = p.IX, p.IY, p.IZ
+	return out
+}
+
+// FitQuad identifies quadcopter parameters from a trace by linear least
+// squares on the Appendix A.2 dynamics:
+//
+//	v̇z + g = (cosφ cosθ / m)·U_t − (k_d/m)·vz_rel
+//
+// gives 1/m and k_d/m from the vertical channel; the rotational channels
+//
+//	ω̇φ = U_φ/I_x + ωθωψ(I_y−I_z)/I_x − (c/I_x)ωφ
+//
+// give the inertias (gyroscopic and damping terms folded into the
+// residual, which is valid for near-hover data).
+func FitQuad(samples []Sample) (QuadParams, error) {
+	if len(samples) < 20 {
+		return QuadParams{}, ErrInsufficientData
+	}
+	// Vertical channel: regress (v̇z + g) on [cosφcosθ·Ut, −vz].
+	a := mat.New(len(samples), 2)
+	b := mat.NewVec(len(samples))
+	for i, s := range samples {
+		cf := math.Cos(s.State.Roll) * math.Cos(s.State.Pitch)
+		a.Set(i, 0, cf*s.Input.Thrust)
+		a.Set(i, 1, -s.State.VZ)
+		b[i] = s.Accel[2] + vehicle.Gravity
+	}
+	theta, err := LeastSquares(a, b)
+	if err != nil {
+		return QuadParams{}, fmt.Errorf("sysid vertical channel: %w", err)
+	}
+	invMass, kdOverM := theta[0], theta[1]
+	if invMass <= 0 {
+		return QuadParams{}, errors.New("sysid: non-physical mass estimate")
+	}
+	mass := 1 / invMass
+	drag := kdOverM * mass
+
+	// Rotational channels: ω̇ = U/I  ⇒  regress ω̇ on U per axis.
+	fitInertia := func(u func(Sample) float64, alpha func(Sample) float64) (float64, error) {
+		aa := mat.New(len(samples), 1)
+		bb := mat.NewVec(len(samples))
+		for i, s := range samples {
+			aa.Set(i, 0, u(s))
+			bb[i] = alpha(s)
+		}
+		th, err := LeastSquares(aa, bb)
+		if err != nil {
+			return 0, err
+		}
+		if th[0] <= 0 {
+			return 0, errors.New("sysid: non-physical inertia estimate")
+		}
+		return 1 / th[0], nil
+	}
+	ix, err := fitInertia(func(s Sample) float64 { return s.Input.MRoll }, func(s Sample) float64 { return s.AngAccel[0] })
+	if err != nil {
+		return QuadParams{}, fmt.Errorf("sysid roll inertia: %w", err)
+	}
+	iy, err := fitInertia(func(s Sample) float64 { return s.Input.MPitch }, func(s Sample) float64 { return s.AngAccel[1] })
+	if err != nil {
+		return QuadParams{}, fmt.Errorf("sysid pitch inertia: %w", err)
+	}
+	iz, err := fitInertia(func(s Sample) float64 { return s.Input.MYaw }, func(s Sample) float64 { return s.AngAccel[2] })
+	if err != nil {
+		return QuadParams{}, fmt.Errorf("sysid yaw inertia: %w", err)
+	}
+	return QuadParams{Mass: mass, DragCoef: drag, IX: ix, IY: iy, IZ: iz}, nil
+}
+
+// LeastSquares solves min‖A·x − b‖² via the normal equations
+// AᵀA·x = Aᵀb.
+func LeastSquares(a *mat.Mat, b mat.Vec) (mat.Vec, error) {
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	x, err := mat.Solve(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("least squares: %w", err)
+	}
+	return x, nil
+}

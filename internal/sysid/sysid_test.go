@@ -1,0 +1,116 @@
+package sysid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/vehicle"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2x1 + 3x2 exactly.
+	a := mat.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	b := mat.Vec{2, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// y = 1.5x + noise; slope recovered within tolerance.
+	n := 500
+	a := mat.New(n, 1)
+	b := mat.NewVec(n)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		a.Set(i, 0, x)
+		b[i] = 1.5*x + 0.01*rng.NormFloat64()
+	}
+	theta, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(theta[0]-1.5) > 0.01 {
+		t.Errorf("slope = %v, want 1.5", theta[0])
+	}
+}
+
+func TestFitQuadRecoversParameters(t *testing.T) {
+	truth := vehicle.MustProfile(vehicle.Pixhawk).Quad
+	rng := rand.New(rand.NewSource(42))
+	samples := CollectQuadTrace(truth, 60, 0.01, 0.02, rng)
+	got, err := FitQuad(samples)
+	if err != nil {
+		t.Fatalf("FitQuad: %v", err)
+	}
+	within := func(name string, got, want, tol float64) {
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s = %v, want %v ± %.0f%%", name, got, want, tol*100)
+		}
+	}
+	within("mass", got.Mass, truth.Mass, 0.05)
+	within("drag", got.DragCoef, truth.DragCoef, 0.25)
+	within("IX", got.IX, truth.IX, 0.10)
+	within("IY", got.IY, truth.IY, 0.10)
+	within("IZ", got.IZ, truth.IZ, 0.10)
+}
+
+func TestFitQuadInsufficientData(t *testing.T) {
+	if _, err := FitQuad(nil); err == nil {
+		t.Error("expected ErrInsufficientData")
+	}
+}
+
+func TestIdentifiedModelPredicts(t *testing.T) {
+	// The fitted model must predict hover within a small altitude error
+	// over a few seconds.
+	truth := vehicle.MustProfile(vehicle.Tarot).Quad
+	rng := rand.New(rand.NewSource(7))
+	samples := CollectQuadTrace(truth, 60, 0.01, 0.02, rng)
+	params, err := FitQuad(samples)
+	if err != nil {
+		t.Fatalf("FitQuad: %v", err)
+	}
+	model := params.Model(truth)
+
+	sTrue := vehicle.State{Z: 10}
+	sModel := vehicle.State{Z: 10}
+	u := vehicle.Input{Thrust: truth.HoverThrust()}
+	for i := 0; i < 500; i++ {
+		sTrue = truth.Step(sTrue, u, vehicle.Wind{}, 0.01)
+		sModel = model.Step(sModel, u, vehicle.Wind{}, 0.01)
+	}
+	if d := math.Abs(sTrue.Z - sModel.Z); d > 1.0 {
+		t.Errorf("identified model diverged %vm in 5 s of hover", d)
+	}
+}
+
+// Property: with zero noise, mass identification is near-exact for any
+// profile.
+func TestPropertyNoiselessFitExact(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		names := vehicle.AllRVs()
+		prof := vehicle.MustProfile(names[int(pick)%len(names)])
+		if !prof.IsQuad() {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		samples := CollectQuadTrace(prof.Quad, 30, 0.01, 0, rng)
+		got, err := FitQuad(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Mass-prof.Quad.Mass)/prof.Quad.Mass < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package vehicle
+
+import "math"
+
+// Quadcopter is the 6-DOF drone model of Appendix A.2:
+//
+//	v̇x = (U_t/m)(cosφ sinθ cosψ + sinφ sinψ)
+//	v̇y = (U_t/m)(cosφ sinθ sinψ − sinφ cosψ)
+//	v̇z = (U_t/m) cosφ cosθ − g
+//	φ̇ = ωφ, θ̇ = ωθ, ψ̇ = ωψ
+//	ω̇φ = U_φ/I_x + ωθ·ωψ·(I_y−I_z)/I_x
+//	ω̇θ = U_θ/I_y + ωφ·ωψ·(I_z−I_x)/I_y
+//	ω̇ψ = U_ψ/I_z + ωφ·ωθ·(I_x−I_y)/I_z
+//
+// augmented with a linear aerodynamic drag term against the air-relative
+// velocity, which both keeps the closed loop realistic and gives wind a
+// physical coupling into the translational dynamics.
+type Quadcopter struct {
+	// Mass in kg.
+	Mass float64
+	// Moments of inertia about the body axes, kg·m².
+	IX, IY, IZ float64
+	// DragCoef is the linear translational drag coefficient, N·s/m.
+	DragCoef float64
+	// AngularDrag is the linear rotational damping coefficient, N·m·s.
+	AngularDrag float64
+}
+
+// HoverThrust returns the thrust that exactly cancels gravity at level
+// attitude.
+func (q Quadcopter) HoverThrust() float64 {
+	return q.Mass * Gravity
+}
+
+// Derivative returns d(state)/dt for the current state, input, and wind.
+func (q Quadcopter) Derivative(s State, u Input, w Wind) State {
+	cf, sf := math.Cos(s.Roll), math.Sin(s.Roll)
+	ct, st := math.Cos(s.Pitch), math.Sin(s.Pitch)
+	cp, sp := math.Cos(s.Yaw), math.Sin(s.Yaw)
+
+	// Air-relative velocity for drag.
+	rx, ry, rz := s.VX-w.VX, s.VY-w.VY, s.VZ-w.VZ
+	kd := q.DragCoef / q.Mass
+
+	var d State
+	d.X, d.Y, d.Z = s.VX, s.VY, s.VZ
+	d.VX = u.Thrust/q.Mass*(cf*st*cp+sf*sp) - kd*rx
+	d.VY = u.Thrust/q.Mass*(cf*st*sp-sf*cp) - kd*ry
+	d.VZ = u.Thrust/q.Mass*cf*ct - Gravity - kd*rz
+	d.Roll, d.Pitch, d.Yaw = s.WRoll, s.WPitch, s.WYaw
+	d.WRoll = u.MRoll/q.IX + s.WPitch*s.WYaw*(q.IY-q.IZ)/q.IX - q.AngularDrag/q.IX*s.WRoll
+	d.WPitch = u.MPitch/q.IY + s.WRoll*s.WYaw*(q.IZ-q.IX)/q.IY - q.AngularDrag/q.IY*s.WPitch
+	d.WYaw = u.MYaw/q.IZ + s.WRoll*s.WPitch*(q.IX-q.IY)/q.IZ - q.AngularDrag/q.IZ*s.WYaw
+	return d
+}
+
+// Step advances the quadcopter state by dt seconds with classic RK4 and
+// clamps the result to the ground plane (Z ≥ 0; a drone cannot descend
+// below ground — the sim layer classifies a hard ground contact as a
+// crash).
+func (q Quadcopter) Step(s State, u Input, w Wind, dt float64) State {
+	out := rk4(s, dt, func(x State) State { return q.Derivative(x, u, w) })
+	out.Roll = wrapAngle(out.Roll)
+	out.Pitch = wrapAngle(out.Pitch)
+	out.Yaw = wrapAngle(out.Yaw)
+	if out.Z < 0 {
+		out.Z = 0
+		if out.VZ < 0 {
+			out.VZ = 0
+		}
+	}
+	return out
+}
+
+// rk4 performs one classic Runge-Kutta step of the state ODE.
+func rk4(s State, dt float64, f func(State) State) State {
+	k1 := f(s)
+	k2 := f(addScaled(s, k1, dt/2))
+	k3 := f(addScaled(s, k2, dt/2))
+	k4 := f(addScaled(s, k3, dt))
+	out := s
+	c := dt / 6
+	out.X += c * (k1.X + 2*k2.X + 2*k3.X + k4.X)
+	out.Y += c * (k1.Y + 2*k2.Y + 2*k3.Y + k4.Y)
+	out.Z += c * (k1.Z + 2*k2.Z + 2*k3.Z + k4.Z)
+	out.VX += c * (k1.VX + 2*k2.VX + 2*k3.VX + k4.VX)
+	out.VY += c * (k1.VY + 2*k2.VY + 2*k3.VY + k4.VY)
+	out.VZ += c * (k1.VZ + 2*k2.VZ + 2*k3.VZ + k4.VZ)
+	out.Roll += c * (k1.Roll + 2*k2.Roll + 2*k3.Roll + k4.Roll)
+	out.Pitch += c * (k1.Pitch + 2*k2.Pitch + 2*k3.Pitch + k4.Pitch)
+	out.Yaw += c * (k1.Yaw + 2*k2.Yaw + 2*k3.Yaw + k4.Yaw)
+	out.WRoll += c * (k1.WRoll + 2*k2.WRoll + 2*k3.WRoll + k4.WRoll)
+	out.WPitch += c * (k1.WPitch + 2*k2.WPitch + 2*k3.WPitch + k4.WPitch)
+	out.WYaw += c * (k1.WYaw + 2*k2.WYaw + 2*k3.WYaw + k4.WYaw)
+	return out
+}
+
+func addScaled(s, d State, h float64) State {
+	return State{
+		X: s.X + h*d.X, Y: s.Y + h*d.Y, Z: s.Z + h*d.Z,
+		VX: s.VX + h*d.VX, VY: s.VY + h*d.VY, VZ: s.VZ + h*d.VZ,
+		Roll: s.Roll + h*d.Roll, Pitch: s.Pitch + h*d.Pitch, Yaw: s.Yaw + h*d.Yaw,
+		WRoll: s.WRoll + h*d.WRoll, WPitch: s.WPitch + h*d.WPitch, WYaw: s.WYaw + h*d.WYaw,
+	}
+}
+
+// wrapAngle wraps an angle to (−π, π].
+func wrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// WrapAngle wraps an angle to (−π, π]. Exported for use by controllers
+// computing heading errors.
+func WrapAngle(a float64) float64 { return wrapAngle(a) }

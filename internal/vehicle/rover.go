@@ -1,0 +1,93 @@
+package vehicle
+
+import "math"
+
+// Rover is the kinematic bicycle model of Appendix A.2 (Kong et al.):
+//
+//	β  = atan( l_r/(l_f+l_r) · tan δ )
+//	ẋ  = v·cos(ψ+β)
+//	ẏ  = v·sin(ψ+β)
+//	ψ̇  = (v/l_r)·sin β
+//	v̇  = a
+//
+// where δ is the steering angle and a the longitudinal acceleration
+// command. The rover reuses State with Z/attitude channels other than Yaw
+// held at zero, and Input with Thrust = a, MYaw = δ.
+type Rover struct {
+	// LF and LR are the distances from the centre of mass to the front
+	// and rear axles, in metres.
+	LF, LR float64
+	// MaxSteer clamps |δ| in radians.
+	MaxSteer float64
+	// MaxSpeed clamps the forward speed in m/s.
+	MaxSpeed float64
+	// DragCoef is a linear rolling-resistance coefficient applied against
+	// the ground-relative speed (1/s). Wind couples in weakly via the
+	// relative-velocity term scaled by WindFactor.
+	DragCoef float64
+	// WindFactor scales how strongly wind pushes the rover (rovers are far
+	// less wind-sensitive than drones).
+	WindFactor float64
+}
+
+// SlipAngle returns β for steering angle delta.
+func (r Rover) SlipAngle(delta float64) float64 {
+	return math.Atan(r.LR / (r.LF + r.LR) * math.Tan(delta))
+}
+
+// Derivative returns d(state)/dt for the rover.
+func (r Rover) Derivative(s State, u Input, w Wind) State {
+	delta := clamp(u.MYaw, -r.MaxSteer, r.MaxSteer)
+	beta := r.SlipAngle(delta)
+	v := s.Speed2D()
+
+	var d State
+	d.X = v*math.Cos(s.Yaw+beta) + r.WindFactor*w.VX
+	d.Y = v*math.Sin(s.Yaw+beta) + r.WindFactor*w.VY
+	d.Yaw = v / r.LR * math.Sin(beta)
+	// Longitudinal acceleration minus rolling resistance, decomposed back
+	// onto the world frame through the heading.
+	a := u.Thrust - r.DragCoef*v
+	d.VX = a*math.Cos(s.Yaw+beta) - v*d.Yaw*math.Sin(s.Yaw+beta)
+	d.VY = a*math.Sin(s.Yaw+beta) + v*d.Yaw*math.Cos(s.Yaw+beta)
+	d.WYaw = 0 // kinematic model: yaw rate is algebraic, not a state
+	return d
+}
+
+// Step advances the rover state by dt seconds with RK4 and enforces the
+// speed limit.
+func (r Rover) Step(s State, u Input, w Wind, dt float64) State {
+	out := rk4(s, dt, func(x State) State { return r.Derivative(x, u, w) })
+	out.Yaw = wrapAngle(out.Yaw)
+	out.Z, out.VZ = 0, 0
+	out.Roll, out.Pitch = 0, 0
+	out.WRoll, out.WPitch = 0, 0
+	// Record the algebraic yaw rate so sensors observe it.
+	delta := clamp(u.MYaw, -r.MaxSteer, r.MaxSteer)
+	beta := r.SlipAngle(delta)
+	out.WYaw = out.Speed2D() / r.LR * math.Sin(beta)
+	if v := out.Speed2D(); v > r.MaxSpeed {
+		scale := r.MaxSpeed / v
+		out.VX *= scale
+		out.VY *= scale
+	}
+	return out
+}
+
+// Speed2D returns the ground-plane speed.
+func (s State) Speed2D() float64 {
+	return math.Sqrt(s.VX*s.VX + s.VY*s.VY)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp bounds v to [lo, hi]. Exported for controller saturation logic.
+func Clamp(v, lo, hi float64) float64 { return clamp(v, lo, hi) }
