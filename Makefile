@@ -1,0 +1,25 @@
+# Standard developer entry points. `make check` is the full tier-2 gate
+# (see scripts/check.sh); the other targets are its individual stages.
+
+GO ?= go
+
+.PHONY: all build test lint race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/delint ./...
+
+# The -short gate under race is deliberate; see scripts/check.sh.
+race:
+	$(GO) test -race -short ./...
+
+check:
+	sh scripts/check.sh

@@ -40,9 +40,13 @@ func run(rv string, missions int, seed int64) error {
 			return err
 		}
 		cal := experiments.Calibrate(p, opt)
-		experiments.WriteCalibration(os.Stdout, cal)
+		if err := experiments.WriteCalibration(os.Stdout, cal); err != nil {
+			return err
+		}
 		sw := experiments.StealthyWindow(p, experiments.Options{Missions: missions / 2, Seed: seed, Wind: 2})
-		experiments.WriteStealthyWindow(os.Stdout, sw)
+		if err := experiments.WriteStealthyWindow(os.Stdout, sw); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	return nil

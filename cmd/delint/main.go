@@ -1,0 +1,90 @@
+// Command delint runs DeLorean's project-specific static-analysis suite
+// (internal/lint) over the module's packages and exits non-zero on any
+// finding. It is the tier-2 gate of scripts/check.sh:
+//
+//	go run ./cmd/delint ./...
+//
+// Usage:
+//
+//	delint [-list] [-only name,name] [packages...]
+//
+// Packages are directory patterns relative to the working directory
+// ("./..." by default). Suppress an intentional violation with
+// `//lint:ignore <analyzer> <reason>` on the offending line or the line
+// above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("delint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, az := range analyzers {
+			fmt.Printf("%-12s %s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var selected []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			az := lint.AnalyzerByName(strings.TrimSpace(name))
+			if az == nil {
+				fmt.Fprintf(os.Stderr, "delint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			selected = append(selected, az)
+		}
+		analyzers = selected
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "delint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "delint: %v\n", err)
+		return 2
+	}
+
+	// Analyzers are only sound on fully type-checked code.
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "delint: %s: %v\n", pkg.Path, terr)
+			broken = true
+		}
+	}
+	if broken {
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "delint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

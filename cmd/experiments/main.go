@@ -46,7 +46,7 @@ func run(exp string, missions int, seed int64, windCap float64, outPath string) 
 
 	type step struct {
 		name string
-		run  func(io.Writer, experiments.Options)
+		run  func(io.Writer, experiments.Options) error
 	}
 	steps := []step{
 		{name: "table3", run: runTable3},
@@ -67,7 +67,9 @@ func run(exp string, missions int, seed int64, windCap float64, outPath string) 
 		matched = true
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s (missions=%d seed=%d)...\n", s.name, missions, seed)
-		s.run(w, opt)
+		if err := s.run(w, opt); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
 		fmt.Fprintf(os.Stderr, "%s done in %s\n", s.name, time.Since(start).Round(time.Second))
 	}
 	if !matched {
@@ -76,7 +78,7 @@ func run(exp string, missions int, seed int64, windCap float64, outPath string) 
 	return nil
 }
 
-func runTable3(w io.Writer, opt experiments.Options) {
+func runTable3(w io.Writer, opt experiments.Options) error {
 	fmt.Fprintln(w, "## Table 3 / Fig. 8a — δ calibration, window sizing, overheads")
 	fmt.Fprintln(w)
 	calOpt := opt
@@ -86,9 +88,13 @@ func runTable3(w io.Writer, opt experiments.Options) {
 	for _, name := range vehicle.AllRVs() {
 		p := vehicle.MustProfile(name)
 		cal := experiments.Calibrate(p, calOpt)
-		experiments.WriteCalibration(w, cal)
+		if err := experiments.WriteCalibration(w, cal); err != nil {
+			return err
+		}
 		sw := experiments.StealthyWindow(p, experiments.Options{Missions: clampMissions(opt.Missions, 6, 15), Seed: opt.Seed, Wind: opt.Wind})
-		experiments.WriteStealthyWindow(w, sw)
+		if err := experiments.WriteStealthyWindow(w, sw); err != nil {
+			return err
+		}
 		if isReal(name) {
 			ov := experiments.Overheads(p, cal.Delta, sw.WindowSec, experiments.Options{Missions: clampMissions(opt.Missions, 4, 10), Seed: opt.Seed, Wind: opt.Wind})
 			overheads = append(overheads, ov)
@@ -97,45 +103,48 @@ func runTable3(w io.Writer, opt experiments.Options) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Overheads (real-RV profiles, §6.6):")
 	fmt.Fprintln(w)
-	experiments.WriteOverheads(w, overheads)
+	return experiments.WriteOverheads(w, overheads)
 }
 
-func runTable4(w io.Writer, opt experiments.Options) {
-	experiments.WriteTable4(w, experiments.Table4(opt))
+func runTable4(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteTable4(w, experiments.Table4(opt))
 }
 
-func runTable5(w io.Writer, opt experiments.Options) {
-	experiments.WriteTable5(w, experiments.Table5(opt))
+func runTable5(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteTable5(w, experiments.Table5(opt))
 }
 
-func runTable6(w io.Writer, opt experiments.Options) {
-	experiments.WriteTable6(w, experiments.Table6(opt))
+func runTable6(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteTable6(w, experiments.Table6(opt))
 }
 
-func runTable7(w io.Writer, opt experiments.Options) {
-	experiments.WriteTable7(w, experiments.Table7(opt))
+func runTable7(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteTable7(w, experiments.Table7(opt))
 }
 
-func runFig2(w io.Writer, opt experiments.Options) {
-	experiments.WriteTrace(w, "Fig. 2", experiments.Fig2(opt))
+func runFig2(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteTrace(w, "Fig. 2", experiments.Fig2(opt))
 }
 
-func runFig8b(w io.Writer, opt experiments.Options) {
+func runFig8b(w io.Writer, opt experiments.Options) error {
 	fmt.Fprintln(w, "### Fig. 8b — stealthy-attack detection delay CDF")
 	fmt.Fprintln(w)
 	for _, name := range []vehicle.ProfileName{vehicle.Tarot, vehicle.AionR1} {
 		sw := experiments.StealthyWindow(vehicle.MustProfile(name), opt)
-		experiments.WriteStealthyWindow(w, sw)
+		if err := experiments.WriteStealthyWindow(w, sw); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(w)
+	return nil
 }
 
-func runFig9(w io.Writer, opt experiments.Options) {
-	experiments.WriteTrace(w, "Fig. 9", experiments.Fig9(opt))
+func runFig9(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteTrace(w, "Fig. 9", experiments.Fig9(opt))
 }
 
-func runFig10(w io.Writer, opt experiments.Options) {
-	experiments.WriteFig10(w, experiments.Fig10(opt))
+func runFig10(w io.Writer, opt experiments.Options) error {
+	return experiments.WriteFig10(w, experiments.Fig10(opt))
 }
 
 func clampMissions(n, lo, hi int) int {

@@ -1,0 +1,46 @@
+// Package clock is the sanctioned wall-clock seam for the deterministic
+// packages (internal/sim, internal/experiments, internal/mission,
+// internal/core). The determinism analyzer (internal/lint) forbids direct
+// time.Now/time.Since there: overhead telemetry may read the wall clock,
+// but only through this seam, so replay harnesses and tests can
+// substitute a virtual clock and traces stay bit-for-bit reproducible.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu    sync.RWMutex
+	nowFn = time.Now
+)
+
+// Now returns the current time from the active clock source (the real
+// wall clock unless a test has substituted one).
+func Now() time.Time {
+	mu.RLock()
+	fn := nowFn
+	mu.RUnlock()
+	return fn()
+}
+
+// Since returns the elapsed time since t per the active clock source.
+func Since(t time.Time) time.Duration {
+	return Now().Sub(t)
+}
+
+// SetForTest substitutes the clock source and returns a restore
+// function. Tests must call restore (typically via defer or t.Cleanup)
+// before the next test runs.
+func SetForTest(fn func() time.Time) (restore func()) {
+	mu.Lock()
+	prev := nowFn
+	nowFn = fn
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		nowFn = prev
+		mu.Unlock()
+	}
+}

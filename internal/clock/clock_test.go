@@ -1,0 +1,32 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b.Before(a) {
+		t.Errorf("Now went backwards: %v then %v", a, b)
+	}
+	if Since(a) < 0 {
+		t.Errorf("Since(a) = %v, want >= 0", Since(a))
+	}
+}
+
+func TestSetForTest(t *testing.T) {
+	fixed := time.Date(2024, 7, 1, 12, 0, 0, 0, time.UTC)
+	restore := SetForTest(func() time.Time { return fixed })
+	if got := Now(); !got.Equal(fixed) {
+		t.Errorf("Now() = %v under test clock, want %v", got, fixed)
+	}
+	if got := Since(fixed.Add(-time.Minute)); got != time.Minute {
+		t.Errorf("Since = %v, want 1m", got)
+	}
+	restore()
+	if Now().Equal(fixed) {
+		t.Error("restore did not reinstate the real clock")
+	}
+}

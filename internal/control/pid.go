@@ -9,6 +9,8 @@
 // DeLorean framework (Fig. 4) uses.
 package control
 
+import "repro/internal/floats"
+
 // PID is a scalar PID regulator with output clamping and integral
 // anti-windup.
 type PID struct {
@@ -77,7 +79,7 @@ func (c *PID) output(e, deriv float64) float64 {
 }
 
 func (c *PID) clamp(v float64) float64 {
-	if c.OutMin != 0 || c.OutMax != 0 {
+	if !floats.Zero(c.OutMin) || !floats.Zero(c.OutMax) {
 		if v < c.OutMin {
 			return c.OutMin
 		}

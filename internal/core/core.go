@@ -25,13 +25,14 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/clock"
 	"repro/internal/control"
 	"repro/internal/detect"
 	"repro/internal/diagnosis"
 	"repro/internal/ekf"
+	"repro/internal/floats"
 	"repro/internal/mission"
 	"repro/internal/reconstruct"
 	"repro/internal/recovery"
@@ -325,9 +326,9 @@ func (f *Framework) Tick(t float64, meas sensors.PhysState, target mission.Waypo
 	_ = f.filter.Correct(meas, active) // singularity cannot occur with diagonal R > 0
 
 	// 2–4. Defense machinery (timed for the overhead accounting).
-	defStart := time.Now()
+	defStart := clock.Now()
 	u, engaged := f.defenseTick(t, meas, target)
-	f.defenseNS += time.Since(defStart).Nanoseconds()
+	f.defenseNS += clock.Since(defStart).Nanoseconds()
 
 	// 5. Control.
 	if !engaged {
@@ -369,7 +370,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 	alertNow := f.detector.Alert()
 	if !alertNow {
 		f.alertSince = 0
-	} else if f.alertSince == 0 {
+	} else if floats.Zero(f.alertSince) {
 		f.alertSince = t
 	}
 	stuckAlert := alertNow && f.mode == ModeNormal && t-f.alertSince > 3.0
@@ -566,6 +567,8 @@ func (f *Framework) runDiagnosisAndMaybeRecover(t float64, meas sensors.PhysStat
 		anchorFresh = false
 	}
 	switch f.strategy {
+	case StrategyNone:
+		// Unreachable: the undefended baseline returns before diagnosis.
 	case StrategyDeLorean:
 		if anchorFresh {
 			if _, hybrid, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
@@ -616,7 +619,7 @@ func (f *Framework) revalidateSensors(t float64, meas sensors.PhysState) {
 			f.sensorQuiet[typ] = 0
 			continue
 		}
-		if f.sensorQuiet[typ] == 0 {
+		if floats.Zero(f.sensorQuiet[typ]) {
 			f.sensorQuiet[typ] = t
 			continue
 		}
@@ -713,7 +716,7 @@ func (f *Framework) shouldExitRecovery(t float64, meas sensors.PhysState) bool {
 			return false
 		}
 	}
-	if f.residQuietSince == 0 {
+	if floats.Zero(f.residQuietSince) {
 		f.residQuietSince = t
 	}
 	return t-f.residQuietSince >= holdSec

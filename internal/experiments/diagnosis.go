@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/diagnosis"
+	"repro/internal/floats"
 	"repro/internal/metrics"
 	"repro/internal/sensors"
 	"repro/internal/vehicle"
@@ -148,7 +149,7 @@ func (d *windowedForcedAlert) Update(_, _ sensors.PhysState) bool {
 
 func (d *windowedForcedAlert) Alert() bool {
 	dt := d.dt
-	if dt == 0 {
+	if floats.Zero(dt) {
 		dt = 0.01
 	}
 	t := float64(d.ticks) * dt

@@ -9,16 +9,17 @@ import (
 )
 
 // WriteTable4 renders Table 4 as markdown.
-func WriteTable4(w io.Writer, r Table4Result) {
-	fmt.Fprintf(w, "### Table 4 — Diagnosis TP/FP (%d missions per cell)\n\n", r.Missions)
-	fmt.Fprintln(w, "| # sensors targeted | "+strings.Join(techniqueNames(r), " | ")+" |")
-	fmt.Fprintln(w, "|---|"+strings.Repeat("---|", len(r.Rows)))
+func WriteTable4(w io.Writer, r Table4Result) error {
+	tw := &tableWriter{w: w}
+	tw.printf("### Table 4 — Diagnosis TP/FP (%d missions per cell)\n\n", r.Missions)
+	tw.println("| # sensors targeted | " + strings.Join(techniqueNames(r), " | ") + " |")
+	tw.println("|---|" + strings.Repeat("---|", len(r.Rows)))
 	for k := 0; k < 4; k++ {
 		cells := make([]string, len(r.Rows))
 		for i, row := range r.Rows {
 			cells[i] = fmt.Sprintf("%.0f", row.TPByCount[k])
 		}
-		fmt.Fprintf(w, "| %d | %s |\n", k+1, strings.Join(cells, " | "))
+		tw.printf("| %d | %s |\n", k+1, strings.Join(cells, " | "))
 	}
 	avg := make([]string, len(r.Rows))
 	fp := make([]string, len(r.Rows))
@@ -26,13 +27,14 @@ func WriteTable4(w io.Writer, r Table4Result) {
 		avg[i] = fmt.Sprintf("%.1f", row.AvgTP)
 		fp[i] = fmt.Sprintf("%.0f", row.FP)
 	}
-	fmt.Fprintf(w, "| **Average TP** | %s |\n", strings.Join(avg, " | "))
-	fmt.Fprintf(w, "| **FP (no attack)** | %s |\n", strings.Join(fp, " | "))
+	tw.printf("| **Average TP** | %s |\n", strings.Join(avg, " | "))
+	tw.printf("| **FP (no attack)** | %s |\n", strings.Join(fp, " | "))
 	gr := make([]string, len(r.GratuitousActivations))
 	for i, g := range r.GratuitousActivations {
 		gr[i] = fmt.Sprintf("%d", g)
 	}
-	fmt.Fprintf(w, "| **Gratuitous recovery activations** | %s |\n\n", strings.Join(gr, " | "))
+	tw.printf("| **Gratuitous recovery activations** | %s |\n\n", strings.Join(gr, " | "))
+	return tw.err
 }
 
 func techniqueNames(r Table4Result) []string {
@@ -44,138 +46,181 @@ func techniqueNames(r Table4Result) []string {
 }
 
 // WriteTable5 renders Table 5 as markdown.
-func WriteTable5(w io.Writer, r Table5Result) {
-	fmt.Fprintf(w, "### Table 5 — Recovery outcomes (%d missions per cell)\n\n", r.Missions)
+func WriteTable5(w io.Writer, r Table5Result) error {
+	tw := &tableWriter{w: w}
+	tw.printf("### Table 5 — Recovery outcomes (%d missions per cell)\n\n", r.Missions)
 	header := "| # sensors |"
 	sep := "|---|"
 	for _, t := range r.Techniques {
 		header += fmt.Sprintf(" %s Crash | %s MS |", t, t)
 		sep += "---|---|"
 	}
-	fmt.Fprintln(w, header)
-	fmt.Fprintln(w, sep)
+	tw.println(header)
+	tw.println(sep)
 	for k := 0; k < 5; k++ {
 		row := fmt.Sprintf("| %d |", k+1)
 		for t := range r.Techniques {
 			c := r.Cells[t][k]
 			row += fmt.Sprintf(" %.0f | %.0f |", c.CrashRate, c.MissionSucc)
 		}
-		fmt.Fprintln(w, row)
+		tw.println(row)
 	}
-	fmt.Fprintln(w)
+	tw.println()
+	return tw.err
 }
 
 // WriteTable6 renders Table 6 as markdown.
-func WriteTable6(w io.Writer, r Table6Result) {
-	fmt.Fprintf(w, "### Table 6 — DeLorean vs LQR-O (%d missions per cell)\n\n", r.Missions)
-	fmt.Fprintln(w, "| # sensors | LQR-O RMSD | LQR-O MD%% | LQR-O Crash | LQR-O MS | DeLorean RMSD | DeLorean MD%% | DeLorean Crash | DeLorean MS |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|")
+func WriteTable6(w io.Writer, r Table6Result) error {
+	tw := &tableWriter{w: w}
+	tw.printf("### Table 6 — DeLorean vs LQR-O (%d missions per cell)\n\n", r.Missions)
+	tw.println("| # sensors | LQR-O RMSD | LQR-O MD%% | LQR-O Crash | LQR-O MS | DeLorean RMSD | DeLorean MD%% | DeLorean Crash | DeLorean MS |")
+	tw.println("|---|---|---|---|---|---|---|---|---|")
 	for k := 0; k < 5; k++ {
 		a, b := r.LQRO[k], r.DeLorean[k]
-		fmt.Fprintf(w, "| %d | %.4f | %.2f | %.0f | %.0f | %.4f | %.2f | %.0f | %.0f |\n",
+		tw.printf("| %d | %.4f | %.2f | %.0f | %.0f | %.4f | %.2f | %.0f | %.0f |\n",
 			k+1, a.RMSD, a.MissionDly, a.CrashRate, a.MissionSucc,
 			b.RMSD, b.MissionDly, b.CrashRate, b.MissionSucc)
 	}
-	fmt.Fprintln(w)
+	tw.println()
+	return tw.err
 }
 
 // WriteTable7 renders Table 7 as markdown.
-func WriteTable7(w io.Writer, r Table7Result) {
-	fmt.Fprintf(w, "### Table 7 — Diagnosis & recovery on the real-RV profiles (%d missions per cell)\n\n", r.Missions)
-	fmt.Fprintln(w, "| # sensors | Pixhawk TP | Pixhawk MS | Tarot TP | Tarot MS | Sky-Viper TP | Sky-Viper MS | AionR1 TP | AionR1 MS |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|")
+func WriteTable7(w io.Writer, r Table7Result) error {
+	tw := &tableWriter{w: w}
+	tw.printf("### Table 7 — Diagnosis & recovery on the real-RV profiles (%d missions per cell)\n\n", r.Missions)
+	tw.println("| # sensors | Pixhawk TP | Pixhawk MS | Tarot TP | Tarot MS | Sky-Viper TP | Sky-Viper MS | AionR1 TP | AionR1 MS |")
+	tw.println("|---|---|---|---|---|---|---|---|---|")
 	for k := 0; k < 5; k++ {
 		row := fmt.Sprintf("| %d |", k+1)
 		for _, rv := range r.Rows {
 			row += fmt.Sprintf(" %.0f | %.0f |", rv.TPByCount[k], rv.MSByCount[k])
 		}
-		fmt.Fprintln(w, row)
+		tw.println(row)
 	}
 	row := "| **Average** |"
 	for _, rv := range r.Rows {
 		row += fmt.Sprintf(" %.1f | %.1f |", rv.AvgTP, rv.AvgMS)
 	}
-	fmt.Fprintln(w, row)
+	tw.println(row)
 	row = "| **FP / crashes** |"
 	for _, rv := range r.Rows {
 		row += fmt.Sprintf(" %.0f%% | %d |", rv.FP, rv.Crashes)
 	}
-	fmt.Fprintln(w, row)
-	fmt.Fprintln(w)
+	tw.println(row)
+	tw.println()
+	return tw.err
 }
 
 // WriteTrace renders a figure trace (Fig. 2 / Fig. 9) as a compact series
 // plus summary statistics.
-func WriteTrace(w io.Writer, title string, r TraceResult) {
-	fmt.Fprintf(w, "### %s — %s recovery trace\n\n", title, r.Label)
-	fmt.Fprintf(w, "RMSD %.4f rad, delay %.1f%%, final miss %.2f m, peak altitude overshoot %.2f m, success=%v, crashed=%v\n\n",
+func WriteTrace(w io.Writer, title string, r TraceResult) error {
+	tw := &tableWriter{w: w}
+	tw.printf("### %s — %s recovery trace\n\n", title, r.Label)
+	tw.printf("RMSD %.4f rad, delay %.1f%%, final miss %.2f m, peak altitude overshoot %.2f m, success=%v, crashed=%v\n\n",
 		r.RMSD, r.DelayPercent, r.FinalMiss, r.MaxDeviation, r.Success, r.Crashed)
-	fmt.Fprintln(w, "| t (s) | true x | true z | believed z | recovering | attack |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	tw.println("| t (s) | true x | true z | believed z | recovering | attack |")
+	tw.println("|---|---|---|---|---|---|")
 	for i, tp := range r.Trace {
 		if i%4 != 0 {
 			continue // decimate for readability
 		}
-		fmt.Fprintf(w, "| %.1f | %.1f | %.2f | %.2f | %v | %v |\n",
+		tw.printf("| %.1f | %.1f | %.2f | %.2f | %v | %v |\n",
 			tp.T, tp.Truth.X, tp.Truth.Z, tp.Believed.Z, tp.Recovering, tp.AttackActive)
 	}
-	fmt.Fprintln(w)
+	tw.println()
+	return tw.err
 }
 
 // WriteFig10 renders the stealthy-attack episodes.
-func WriteFig10(w io.Writer, rs []Fig10Result) {
-	fmt.Fprintln(w, "### Fig. 10 — Recovery under adaptive stealthy attacks")
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| attack | detected within window | detection delay (s) | HS corruption (m) | landing offset (m) | mission success | crashed |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+func WriteFig10(w io.Writer, rs []Fig10Result) error {
+	tw := &tableWriter{w: w}
+	tw.println("### Fig. 10 — Recovery under adaptive stealthy attacks")
+	tw.println()
+	tw.println("| attack | detected within window | detection delay (s) | HS corruption (m) | landing offset (m) | mission success | crashed |")
+	tw.println("|---|---|---|---|---|---|---|")
 	for _, r := range rs {
-		fmt.Fprintf(w, "| %s | %v | %.2f | %.2f | %.2f | %v | %v |\n",
+		tw.printf("| %s | %v | %.2f | %.2f | %.2f | %v | %v |\n",
 			r.Attack, r.DetectedWithinWindow, r.DetectionDelay, r.HSCorruption, r.FinalMiss, r.Success, r.Crashed)
 	}
-	fmt.Fprintln(w)
+	tw.println()
+	return tw.err
 }
 
 // WriteCalibration renders one Table 3 δ row plus the Fig. 8a evidence:
 // the per-state thresholds with their held-out validation fractions and
 // the decile CDF of the z-position error (the Fig. 8a example channel).
-func WriteCalibration(w io.Writer, r CalibrationResult) {
-	fmt.Fprintf(w, "#### %s (δ from %d attack-free missions, k = 3)\n\n", r.Profile, r.Missions)
-	fmt.Fprintln(w, "| state | δ | fraction of held-out errors ≤ δ |")
-	fmt.Fprintln(w, "|---|---|---|")
+func WriteCalibration(w io.Writer, r CalibrationResult) error {
+	tw := &tableWriter{w: w}
+	tw.printf("#### %s (δ from %d attack-free missions, k = 3)\n\n", r.Profile, r.Missions)
+	tw.println("| state | δ | fraction of held-out errors ≤ δ |")
+	tw.println("|---|---|---|")
 	for _, idx := range sensors.AllStates() {
 		if r.Delta[idx] <= 0 {
 			continue
 		}
-		fmt.Fprintf(w, "| %s | %.3f | %.3f |\n", idx, r.Delta[idx], r.FracUnderDelta[idx])
+		tw.printf("| %s | %.3f | %.3f |\n", idx, r.Delta[idx], r.FracUnderDelta[idx])
 	}
-	fmt.Fprintln(w)
+	tw.println()
 	if n := len(r.CDF); n > 0 {
-		fmt.Fprint(w, "Fig. 8a CDF of the attack-free z error (deciles): ")
+		tw.print("Fig. 8a CDF of the attack-free z error (deciles): ")
 		for d := 1; d <= 10; d++ {
 			i := d*n/10 - 1
 			if i < 0 {
 				i = 0
 			}
-			fmt.Fprintf(w, "p%d=%.2f ", d*10, r.CDF[i].Value)
+			tw.printf("p%d=%.2f ", d*10, r.CDF[i].Value)
 		}
-		fmt.Fprintf(w, "— δ_z = %.2f\n\n", r.Delta[sensors.SZ])
+		tw.printf("— δ_z = %.2f\n\n", r.Delta[sensors.SZ])
 	}
+	return tw.err
 }
 
 // WriteStealthyWindow renders the Fig. 8b window-sizing outcome.
-func WriteStealthyWindow(w io.Writer, r StealthyWindowResult) {
+func WriteStealthyWindow(w io.Writer, r StealthyWindowResult) error {
+	tw := &tableWriter{w: w}
 	lo, hi := minMax(r.DetectionDelays)
-	fmt.Fprintf(w, "- **%s**: stealthy-GPS detection delay %.1f–%.1f s over %d probes (all detected: %v) → window **%.1f s**\n",
+	tw.printf("- **%s**: stealthy-GPS detection delay %.1f–%.1f s over %d probes (all detected: %v) → window **%.1f s**\n",
 		r.Profile, lo, hi, len(r.DetectionDelays), r.DetectedAll, r.WindowSec)
+	return tw.err
 }
 
 // WriteOverheads renders the Table 3 overhead columns.
-func WriteOverheads(w io.Writer, rs []OverheadResult) {
-	fmt.Fprintln(w, "| RV | CPU overhead | battery overhead | checkpoint memory | window |")
-	fmt.Fprintln(w, "|---|---|---|---|---|")
+func WriteOverheads(w io.Writer, rs []OverheadResult) error {
+	tw := &tableWriter{w: w}
+	tw.println("| RV | CPU overhead | battery overhead | checkpoint memory | window |")
+	tw.println("|---|---|---|---|---|")
 	for _, r := range rs {
-		fmt.Fprintf(w, "| %s | %.1f%% | %.1f%% | %.2f MB | %.1f s |\n",
+		tw.printf("| %s | %.1f%% | %.1f%% | %.2f MB | %.1f s |\n",
 			r.Profile, r.CPUPercent, r.BatteryPercent, float64(r.MemoryBytes)/1e6, r.WindowSec)
 	}
-	fmt.Fprintln(w)
+	tw.println()
+	return tw.err
+}
+
+// tableWriter is an error-latching writer: the first write error is
+// retained and later writes become no-ops, so the table-rendering code
+// stays linear while the error still reaches the caller (the errdrop
+// analyzer forbids silently discarded fmt.Fprintf results).
+type tableWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *tableWriter) printf(format string, args ...any) {
+	if t.err == nil {
+		_, t.err = fmt.Fprintf(t.w, format, args...)
+	}
+}
+
+func (t *tableWriter) println(args ...any) {
+	if t.err == nil {
+		_, t.err = fmt.Fprintln(t.w, args...)
+	}
+}
+
+func (t *tableWriter) print(args ...any) {
+	if t.err == nil {
+		_, t.err = fmt.Fprint(t.w, args...)
+	}
 }

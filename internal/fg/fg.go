@@ -13,6 +13,8 @@ package fg
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/floats"
 )
 
 // Outcome is a binary variable outcome. DeLorean's diagnosis uses
@@ -112,7 +114,7 @@ func (g *Graph) score(assign []Outcome) float64 {
 			local[i] = assign[v.index]
 		}
 		p *= f.fn(local)
-		if p == 0 {
+		if floats.Zero(p) {
 			return 0
 		}
 	}
@@ -146,7 +148,7 @@ func (g *Graph) Marginal(v *Variable) (float64, error) {
 		walk(i + 1)
 	}
 	walk(0)
-	if total == 0 {
+	if floats.Zero(total) {
 		// All assignments scored zero — no factor admits any outcome.
 		// Fall back to the prior.
 		return v.PriorMalicious, nil

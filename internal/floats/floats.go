@@ -1,0 +1,47 @@
+// Package floats provides the tolerance helpers that are the sanctioned
+// way to compare floating-point values in this codebase. The floatcmp
+// analyzer (internal/lint) forbids raw == / != between float operands:
+// rounding in the EKF, reconstruction, and δ-calibration paths makes
+// exact equality silently flaky, and an exact comparison that IS intended
+// should say so in one audited place rather than at every call site.
+package floats
+
+import "math"
+
+// Zero reports whether x is exactly +0 or −0. It is the sanctioned form
+// of the zero-sentinel test ("is this config channel unset?", "does this
+// bias inject anything?") — exact comparison against zero is
+// well-defined in IEEE 754 and intentional here.
+func Zero(x float64) bool {
+	//lint:ignore floatcmp the one sanctioned exact zero-sentinel comparison
+	return x == 0
+}
+
+// Near reports whether a and b differ by at most tol. NaNs are never
+// near anything; equal infinities are near each other.
+func Near(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//lint:ignore floatcmp infinity comparison is exact by definition
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// NearZero reports whether |x| ≤ tol.
+func NearZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}
+
+// Same reports whether a and b are bit-identical values in the sense of
+// determinism checks: equal, or both NaN. Trace-reproducibility tests
+// use it to assert bit-for-bit replay.
+func Same(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	//lint:ignore floatcmp bit-for-bit replay assertions need exact equality
+	return a == b
+}

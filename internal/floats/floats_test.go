@@ -1,0 +1,72 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZero(t *testing.T) {
+	if !Zero(0) {
+		t.Error("Zero(0) = false")
+	}
+	if !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero(-0) = false")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.Inf(1), math.NaN()} {
+		if Zero(x) {
+			t.Errorf("Zero(%g) = true", x)
+		}
+	}
+}
+
+func TestNear(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{-2, 2, 5, true},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), math.Inf(1), false},
+		{math.Inf(1), 1, 1e300, false},
+		{math.NaN(), math.NaN(), math.Inf(1), false},
+		{math.NaN(), 0, 1, false},
+	}
+	for _, c := range cases {
+		if got := Near(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Near(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestNearZero(t *testing.T) {
+	if !NearZero(1e-10, 1e-9) {
+		t.Error("NearZero(1e-10, 1e-9) = false")
+	}
+	if NearZero(1e-8, 1e-9) {
+		t.Error("NearZero(1e-8, 1e-9) = true")
+	}
+	if NearZero(math.NaN(), 1) {
+		t.Error("NearZero(NaN, 1) = true")
+	}
+}
+
+func TestSame(t *testing.T) {
+	if !Same(1.5, 1.5) {
+		t.Error("Same(1.5, 1.5) = false")
+	}
+	if Same(1.5, 1.5+1e-15) {
+		t.Error("Same should be exact, not tolerant")
+	}
+	if !Same(math.NaN(), math.NaN()) {
+		t.Error("Same(NaN, NaN) = false; replay treats NaNs as reproducible")
+	}
+	if Same(math.NaN(), 0) {
+		t.Error("Same(NaN, 0) = true")
+	}
+	if !Same(math.Inf(1), math.Inf(1)) {
+		t.Error("Same(+Inf, +Inf) = false")
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismConfig scopes the determinism analyzer.
+type DeterminismConfig struct {
+	// Restricted lists import paths (each covering its subtree) whose
+	// code must stay bit-for-bit reproducible: same seed, same trace.
+	Restricted []string
+	// ClockPath is the sanctioned wall-clock seam; diagnostics point
+	// offenders at it.
+	ClockPath string
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators — the sanctioned pattern — rather than
+// touching the global unseeded source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// Determinism returns the determinism analyzer: the simulation,
+// experiment, and mission pipelines must replay bit-for-bit from a seed
+// so the Figures 2/9 traces reproduce exactly. Inside the restricted
+// packages, wall-clock reads (time.Now/Since) must route through the
+// injectable clock seam, and the global unseeded math/rand source is
+// forbidden — randomness must flow from an explicitly seeded *rand.Rand.
+// cmd/ binaries are outside the restricted set and may read the wall
+// clock freely.
+func Determinism(cfg DeterminismConfig) *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "forbid time.Now/time.Since and the global math/rand source " +
+			"in the deterministic sim/experiment/mission packages",
+		Run: func(pass *Pass) { runDeterminism(pass, cfg) },
+	}
+}
+
+func runDeterminism(pass *Pass, cfg DeterminismConfig) {
+	restricted := false
+	for _, p := range cfg.Restricted {
+		if pass.Pkg.Path == p || strings.HasPrefix(pass.Pkg.Path, p+"/") {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Float64) are fine
+			}
+			switch pkgPath := fn.Pkg().Path(); {
+			case pkgPath == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+				pass.Reportf(sel.Pos(),
+					"wall-clock read time.%s in deterministic package; route it through %s",
+					fn.Name(), cfg.ClockPath)
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn.Name()]:
+				pass.Reportf(sel.Pos(),
+					"global math/rand source (rand.%s) in deterministic package; draw from an explicitly seeded *rand.Rand",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

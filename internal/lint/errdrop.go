@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop returns the errdrop analyzer: inside the given import-path
+// scope (internal/…), a call whose error result is silently discarded —
+// an expression statement that ignores a returned error — is forbidden.
+// Recovery stacks fail silently when a reconstruction or calibration step
+// swallows its error; discarding must be explicit (`_ = f()`), ideally
+// with a comment, or suppressed with //lint:ignore errdrop.
+//
+// Writes into error-free sinks (strings.Builder, bytes.Buffer) and the
+// fmt stdout print family are exempt: their error results are
+// documentation artifacts, not failure signals.
+func ErrDrop(pathPrefix string) *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc: "forbid silently discarded error returns in " + pathPrefix +
+			" packages; discard explicitly with `_ =` or handle the error",
+		Run: func(pass *Pass) { runErrDrop(pass, pathPrefix) },
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrDrop(pass *Pass, pathPrefix string) {
+	if !strings.HasPrefix(pass.Pkg.Path, pathPrefix) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s is silently discarded; handle it or assign to _ explicitly",
+				calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// exemptCall reports whether the call belongs to the allowlist of
+// never-fails APIs: stdout prints, and fmt.Fprint* into in-memory sinks
+// whose Write cannot return an error.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Methods on strings.Builder / bytes.Buffer document a nil error.
+	if recv := pass.TypeOf(sel.X); recv != nil {
+		if isErrorFreeSink(recv) {
+			return true
+		}
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if name == "Print" || name == "Printf" || name == "Println" {
+		return true
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		if w := pass.TypeOf(call.Args[0]); w != nil && isErrorFreeSink(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorFreeSink reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func isErrorFreeSink(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isNamedFrom(t, "strings", "Builder") || isNamedFrom(t, "bytes", "Buffer")
+}
+
+// calleeName renders the called expression for the diagnostic message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveConfig scopes the exhaustive analyzer.
+type ExhaustiveConfig struct {
+	// TypePrefix restricts the check to enum types declared in packages
+	// whose import path starts with this prefix (the module's own enums;
+	// stdlib integer types are never treated as enums).
+	TypePrefix string
+	// Exclude maps a qualified type name ("pkg/path.Type") to constant
+	// names that do not participate in exhaustiveness — count sentinels
+	// like sensors.NumStates.
+	Exclude map[string][]string
+}
+
+// Exhaustive returns the exhaustive analyzer: a switch over one of the
+// module's enum-like types (core.Strategy, sensors.StateIndex, the
+// sensors.Type enum, attack modes, mission phases, …) must either cover
+// every declared constant of the type or carry a default clause. A new
+// strategy or sensor type added without updating every dispatch site is
+// exactly the silent state-vector drift the SoK warns about.
+func Exhaustive(cfg ExhaustiveConfig) *Analyzer {
+	return &Analyzer{
+		Name: "exhaustive",
+		Doc: "switches over module enum types must cover every declared " +
+			"constant or have a default clause",
+		Run: func(pass *Pass) { runExhaustive(pass, cfg) },
+	}
+}
+
+func runExhaustive(pass *Pass, cfg ExhaustiveConfig) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, cfg, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, cfg ExhaustiveConfig, sw *ast.SwitchStmt) {
+	tagType := pass.TypeOf(sw.Tag)
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path(), cfg.TypePrefix) {
+		return
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return
+	}
+
+	qualified := obj.Pkg().Path() + "." + obj.Name()
+	excluded := make(map[string]bool)
+	for _, name := range cfg.Exclude[qualified] {
+		excluded[name] = true
+	}
+
+	// Enum members: package-level constants of exactly this type,
+	// declared alongside it.
+	scope := obj.Pkg().Scope()
+	type member struct{ name, val string }
+	var members []member
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || excluded[name] || !types.Identical(c.Type(), named) {
+			continue
+		}
+		members = append(members, member{name, c.Val().ExactString()})
+	}
+	if len(members) < 2 {
+		return // not an enum
+	}
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: the switch is total by construction
+		}
+		for _, e := range clause.List {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch,
+		"switch on %s.%s is not exhaustive: missing %s (add the cases or a default clause)",
+		obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+}

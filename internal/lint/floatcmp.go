@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp returns the floatcmp analyzer: diagnosis and recovery math
+// must never compare floating-point operands with == or != — rounding in
+// the EKF, reconstruction roll-forward, and δ-threshold paths makes exact
+// equality silently flaky. The sanctioned forms are the tolerance helpers
+// in internal/floats (floats.Zero for exact zero-sentinel tests,
+// floats.Near for tolerance comparison) or an explicit
+// //lint:ignore floatcmp directive where bit-exact comparison is the
+// point.
+func FloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc: "forbid == and != between floating-point operands; " +
+			"use the internal/floats tolerance helpers",
+		Run: runFloatCmp,
+	}
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			// A fully constant comparison folds at compile time and is
+			// exact by construction.
+			if tv, ok := pass.Pkg.Info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use floats.Near/floats.Zero (internal/floats) instead",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,165 @@
+// Package lint is DeLorean's project-specific static-analysis framework.
+// It parses and type-checks the module's packages with go/parser and
+// go/types (stdlib only, no external analysis driver) and runs a suite of
+// analyzers that enforce invariants the Go compiler cannot see: canonical
+// physical-state indexing, tolerance-based float comparison, exhaustive
+// enum switches, no silently dropped errors, and deterministic
+// simulation/experiment pipelines.
+//
+// A finding can be suppressed with an ignore directive on the same line or
+// the line directly above the offending code:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Pos is the resolved file:line:column position.
+	Pos token.Position
+	// Message describes the invariant violation and the sanctioned fix.
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one invariant checker. Run inspects the pass's package and
+// reports findings through the pass.
+type Analyzer struct {
+	// Name is the short identifier used in output and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one type-checked package.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution and collects its
+// diagnostics.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Fset resolves token positions.
+	Fset *token.FileSet
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzer  string
+	hasReason bool
+	pos       token.Pos
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// collectIgnores parses the package's ignore directives.
+func collectIgnores(fset *token.FileSet, pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				out = append(out, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzer:  m[1],
+					hasReason: strings.TrimSpace(m[2]) != "",
+					pos:       c.Slash,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package, applies ignore
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg)
+		suppressed := func(d Diagnostic) bool {
+			for _, ig := range ignores {
+				if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
+					continue
+				}
+				if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+					return true
+				}
+			}
+			return false
+		}
+		for _, az := range analyzers {
+			pass := &Pass{Pkg: pkg, Fset: pkg.Fset, analyzer: az}
+			az.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+		// A directive without a reason defeats the audit trail: report it.
+		for _, ig := range ignores {
+			if !ig.hasReason {
+				diags = append(diags, Diagnostic{
+					Analyzer: "lintdirective",
+					Pos:      pkg.Fset.Position(ig.pos),
+					Message:  fmt.Sprintf("//lint:ignore %s directive is missing a reason", ig.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

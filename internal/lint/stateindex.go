@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+)
+
+// StateIndexConfig points the stateindex analyzer at the canonical
+// physical-state vocabulary.
+type StateIndexConfig struct {
+	// SensorsPath is the import path of the package declaring PhysState,
+	// StateIndex, and NumStates.
+	SensorsPath string
+	// NumStates is the length of the PS vector (the value of the
+	// package's NumStates constant).
+	NumStates int
+}
+
+// StateIndex returns the stateindex analyzer: every one of the physical
+// states of Eq. 1 must be addressed through the canonical
+// sensors.StateIndex constants (SX…SBaroAlt) and the Table-1 state→sensor
+// map. Indexing a PhysState (or any [sensors.NumStates]float64 array)
+// with a raw integer literal, writing the PS length as a magic literal,
+// or materializing a StateIndex from a bare literal all silently break
+// when the PS layout evolves.
+func StateIndex(cfg StateIndexConfig) *Analyzer {
+	return &Analyzer{
+		Name: "stateindex",
+		Doc: "forbid raw integer literals where sensors.StateIndex " +
+			"constants or sensors.NumStates are meant",
+		Run: func(pass *Pass) { runStateIndex(pass, cfg) },
+	}
+}
+
+func runStateIndex(pass *Pass, cfg StateIndexConfig) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				checkPhysStateIndex(pass, cfg, n)
+			case *ast.ArrayType:
+				checkArrayLen(pass, cfg, n)
+			case *ast.BasicLit:
+				// A literal whose contextual type is StateIndex (e.g.
+				// StateIndex(3), or `idx < 19` against a StateIndex
+				// operand) bypasses the canonical constants. Zero is
+				// exempt: `i < 0` bounds checks do not move when the PS
+				// layout evolves.
+				if tv, ok := info.Types[ast.Expr(n)]; ok &&
+					isNamedFrom(tv.Type, cfg.SensorsPath, "StateIndex") &&
+					!(tv.Value != nil && constant.Sign(tv.Value) == 0) {
+					pass.Reportf(n.Pos(),
+						"raw literal %s of type sensors.StateIndex; use the S… state constants or sensors.NumStates",
+						n.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkPhysStateIndex flags constant non-StateIndex indices into a
+// PhysState-shaped array.
+func checkPhysStateIndex(pass *Pass, cfg StateIndexConfig, n *ast.IndexExpr) {
+	base := pass.TypeOf(n.X)
+	if base == nil {
+		return
+	}
+	if ptr, ok := base.Underlying().(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	if !isPhysStateShaped(base, cfg) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[n.Index]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return // loop variables and computed indices are fine
+	}
+	if isNamedFrom(tv.Type, cfg.SensorsPath, "StateIndex") {
+		return // SX…SBaroAlt constants (or expressions over them)
+	}
+	pass.Reportf(n.Index.Pos(),
+		"physical-state vector indexed with raw constant %s; use the sensors.StateIndex constants (SX…SBaroAlt)",
+		tv.Value)
+}
+
+// checkArrayLen flags array types whose length is the PS length written
+// as a bare literal instead of sensors.NumStates.
+func checkArrayLen(pass *Pass, cfg StateIndexConfig, n *ast.ArrayType) {
+	lit, ok := n.Len.(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	v, err := strconv.Atoi(lit.Value)
+	if err != nil || v != cfg.NumStates {
+		return
+	}
+	if elem := pass.TypeOf(n.Elt); elem == nil || !isFloat(elem) {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"PS-length float array declared with magic literal %d; use [sensors.NumStates]float64 or sensors.PhysState",
+		v)
+}
+
+// isPhysStateShaped reports whether t is sensors.PhysState or any array
+// of NumStates floats (the PS layout under another name).
+func isPhysStateShaped(t types.Type, cfg StateIndexConfig) bool {
+	if isNamedFrom(t, cfg.SensorsPath, "PhysState") {
+		return true
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	return ok && int(arr.Len()) == cfg.NumStates && isFloat(arr.Elem())
+}
+
+// isNamedFrom reports whether t (after unaliasing) is the named type
+// pkgPath.name.
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

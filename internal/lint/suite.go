@@ -1,0 +1,54 @@
+package lint
+
+import "repro/internal/sensors"
+
+// Module-specific analyzer configuration. The suite is tuned to this
+// repository: the canonical physical-state vocabulary lives in
+// internal/sensors, deterministic replay covers the sim/experiment/
+// mission/core pipeline, and error discipline is enforced across all of
+// internal/.
+const (
+	modulePath  = "repro"
+	sensorsPath = modulePath + "/internal/sensors"
+	clockPath   = modulePath + "/internal/clock"
+)
+
+// DefaultAnalyzers returns the project's full analyzer suite, tuned to
+// DeLorean's invariants.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp(),
+		StateIndex(StateIndexConfig{
+			SensorsPath: sensorsPath,
+			NumStates:   int(sensors.NumStates),
+		}),
+		Exhaustive(ExhaustiveConfig{
+			TypePrefix: modulePath + "/",
+			Exclude: map[string][]string{
+				// NumStates is the PS length sentinel, not a state.
+				sensorsPath + ".StateIndex": {"NumStates"},
+			},
+		}),
+		ErrDrop(modulePath + "/internal/"),
+		Determinism(DeterminismConfig{
+			Restricted: []string{
+				modulePath + "/internal/sim",
+				modulePath + "/internal/experiments",
+				modulePath + "/internal/mission",
+				modulePath + "/internal/core",
+			},
+			ClockPath: clockPath,
+		}),
+	}
+}
+
+// AnalyzerByName returns the named analyzer from the default suite, or
+// nil when unknown.
+func AnalyzerByName(name string) *Analyzer {
+	for _, az := range DefaultAnalyzers() {
+		if az.Name == name {
+			return az
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package determinism is golden-test input for the determinism analyzer.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	start := time.Now()   // want "wall-clock read time.Now"
+	_ = time.Since(start) // want "wall-clock read time.Since"
+	return rand.Int63()   // want "global math/rand source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors of explicit sources are fine
+	return r.Float64()                  // ...and so are methods on them
+}
+
+func elapsed(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) // time methods and constants are fine
+}

@@ -1,0 +1,29 @@
+// Package errdrop is golden-test input for the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func drop() {
+	fail() // want "error result of fail is silently discarded"
+	pair() // want "error result of pair is silently discarded"
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_, _ = pair() // explicit discard is visible in review
+	var sb strings.Builder
+	sb.WriteString("ok")      // strings.Builder writes cannot fail
+	fmt.Fprintf(&sb, "%d", 1) // ...including through fmt.Fprintf
+	fmt.Println("progress")   // stdout diagnostics are exempt
+	return nil
+}

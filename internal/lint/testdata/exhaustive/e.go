@@ -1,0 +1,65 @@
+// Package exhaustive is golden-test input for the exhaustive analyzer.
+package exhaustive
+
+// Mode is a small closed enum of the kind the analyzer guards.
+type Mode int
+
+// Modes.
+const (
+	ModeIdle Mode = iota
+	ModeArmed
+	ModeFlying
+)
+
+func partial(m Mode) string {
+	switch m { // want "switch on exhaustive.Mode is not exhaustive: missing ModeFlying"
+	case ModeIdle:
+		return "idle"
+	case ModeArmed:
+		return "armed"
+	}
+	return "?"
+}
+
+func veryPartial(m Mode) string {
+	switch m { // want "missing ModeArmed, ModeFlying"
+	case ModeIdle:
+		return "idle"
+	}
+	return "?"
+}
+
+func full(m Mode) string {
+	switch m {
+	case ModeIdle, ModeArmed:
+		return "grounded"
+	case ModeFlying:
+		return "flying"
+	}
+	return "?"
+}
+
+func defaulted(m Mode) string {
+	switch m {
+	case ModeIdle:
+		return "idle"
+	default:
+		return "other"
+	}
+}
+
+func nonEnum(n int) string {
+	switch n { // plain ints are not enums
+	case 1:
+		return "one"
+	}
+	return "?"
+}
+
+func tagless(m Mode) string {
+	switch { // tagless switches are ordinary if-chains
+	case m == ModeIdle:
+		return "idle"
+	}
+	return "?"
+}

@@ -1,0 +1,30 @@
+// Package floatcmp is golden-test input for the floatcmp analyzer.
+package floatcmp
+
+func compare(a, b float64) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	return a != b // want "floating-point != comparison"
+}
+
+type metres float64
+
+func named(a, b metres) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func fine(a, b float64, i, j int) bool {
+	const x, y = 1.0, 2.0
+	if x == y { // fully constant: folds at compile time, exact by construction
+		return false
+	}
+	if i == j { // integer equality is exact
+		return true
+	}
+	return a < b // ordered comparisons carry no equality trap
+}

@@ -1,0 +1,27 @@
+// Package ignore exercises the //lint:ignore suppression directives.
+package ignore
+
+func lineAbove(a, b float64) bool {
+	//lint:ignore floatcmp the replay gate needs bit-exact equality
+	return a == b
+}
+
+func sameLine(a, b float64) bool {
+	return a == b //lint:ignore floatcmp exact comparison is the point here
+}
+
+func bare(a, b float64) bool {
+	// A directive without a reason still suppresses, but is itself
+	// reported so no suppression escapes the audit trail.
+	/* want "directive is missing a reason" */ //lint:ignore floatcmp
+	return a == b
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//lint:ignore errdrop reasons for one analyzer do not leak to another
+	return a == b // want "floating-point == comparison"
+}

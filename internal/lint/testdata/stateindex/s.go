@@ -1,0 +1,37 @@
+// Package stateindex is golden-test input for the stateindex analyzer.
+package stateindex
+
+import "repro/internal/sensors"
+
+func read(ps sensors.PhysState) float64 {
+	return ps[2] // want "physical-state vector indexed with raw constant 2"
+}
+
+func readPtr(ps *sensors.PhysState) float64 {
+	return ps[0] // want "physical-state vector indexed with raw constant 0"
+}
+
+func shadowShape(e [19]float64) float64 { // want "magic literal 19"
+	return e[3] // want "physical-state vector indexed with raw constant 3"
+}
+
+func convert() sensors.StateIndex {
+	return sensors.StateIndex(3) // want "raw literal 3 of type sensors.StateIndex"
+}
+
+func ok(ps sensors.PhysState, i int) float64 {
+	sum := ps[sensors.SX] + ps[sensors.SBaroAlt]
+	for j := range ps {
+		sum += ps[j] // computed indices are fine
+	}
+	sum += ps[i]
+	var full [sensors.NumStates]float64 // canonical length spelling
+	sum += full[sensors.SVZ]
+	return sum
+}
+
+func bounds(i sensors.StateIndex) bool {
+	// Zero is the universal below-range sentinel and does not move when
+	// the PS layout evolves, so it is exempt.
+	return i >= 0 && i < sensors.NumStates
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/floats"
 )
 
 // Mat is a dense row-major matrix.
@@ -120,7 +122,7 @@ func (m *Mat) Mul(b *Mat) *Mat {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
-			if a == 0 {
+			if floats.Zero(a) {
 				continue
 			}
 			for j := 0; j < b.Cols; j++ {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/floats"
 )
 
 // Waypoint is a target position in the world frame. Z is zero for rovers.
@@ -237,7 +239,7 @@ type Tracker struct {
 // radius in metres. Rover plans (zero altitude) skip the takeoff phase.
 func NewTracker(plan Plan, acceptRadius float64) *Tracker {
 	phase := PhaseTakeoff
-	if plan.Altitude == 0 {
+	if floats.Zero(plan.Altitude) {
 		phase = PhaseCruise
 	}
 	return &Tracker{plan: plan, accept: acceptRadius, phase: phase}
@@ -296,6 +298,8 @@ func (tr *Tracker) Advance(x, y, z float64) Phase {
 		if z < 0.3 {
 			tr.phase = PhaseComplete
 		}
+	case PhaseComplete:
+		// Terminal: the mission stays complete.
 	}
 	return tr.phase
 }

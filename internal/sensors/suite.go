@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/floats"
 	"repro/internal/vehicle"
 )
 
@@ -50,10 +51,10 @@ func (b Bias) Targets() TypeSet {
 	if b.Accel != [3]float64{} {
 		s.Add(Accel)
 	}
-	if b.MagYaw != 0 {
+	if !floats.Zero(b.MagYaw) {
 		s.Add(Mag)
 	}
-	if b.Baro != 0 {
+	if !floats.Zero(b.Baro) {
 		s.Add(Baro)
 	}
 	return s
@@ -189,7 +190,7 @@ func (s *Suite) Sample(t, dt float64, truth vehicle.State, trueAccel [3]float64,
 func (s *Suite) Estimate() PhysState { return s.est }
 
 func (s *Suite) noise(sigma float64) float64 {
-	if sigma == 0 || s.rng == nil {
+	if floats.Zero(sigma) || s.rng == nil {
 		return 0
 	}
 	return sigma * s.rng.NormFloat64()

@@ -8,9 +8,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"repro/internal/attack"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/diagnosis"
@@ -188,9 +188,9 @@ func Run(cfg Config) (Result, error) {
 		accel := trueAccel(cfg.Profile, truth, lastU, w)
 		meas := suite.Sample(t, dt, truth, accel, bias)
 
-		tickStart := time.Now()
+		tickStart := clock.Now()
 		u := fw.Tick(t, meas, tracker.Target())
-		res.TotalNS += time.Since(tickStart).Nanoseconds()
+		res.TotalNS += clock.Since(tickStart).Nanoseconds()
 		lastU = u
 		if cfg.CollectErrors && tick%5 == 0 {
 			res.ErrorSamples = append(res.ErrorSamples, fw.LastError())

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/floats"
 	"repro/internal/vehicle"
 )
 
@@ -50,7 +51,7 @@ func Calm() *Model {
 // Step advances the gust process by dt seconds and returns the current
 // wind vector.
 func (m *Model) Step(dt float64) vehicle.Wind {
-	if m.rng == nil || (m.MeanSpeed == 0 && m.GustStdev == 0) {
+	if m.rng == nil || (floats.Zero(m.MeanSpeed) && floats.Zero(m.GustStdev)) {
 		return vehicle.Wind{}
 	}
 	tau := m.Tau

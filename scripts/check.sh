@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# check.sh — the tier-2 verification gate: build, vet, project lint
+# (cmd/delint), the full test suite, and the race detector.
+#
+# The race pass runs with -short: the full experiment suite already takes
+# ~2 minutes natively and the race detector multiplies that by ~20×, so
+# the heavy mission sweeps (which honor testing.Short) are skipped there.
+# They still run race-free in the plain `go test` pass, and a full
+# `go test -race -timeout 60m ./...` remains available for release
+# verification.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+echo "== vet =="
+go vet ./...
+echo "== delint =="
+go run ./cmd/delint ./...
+echo "== test =="
+go test ./...
+echo "== race (short) =="
+go test -race -short ./...
+echo "ok: all checks passed"
