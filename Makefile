@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race check
+.PHONY: all build test lint race race-runner check bench-baseline
 
 all: check
 
@@ -21,5 +21,17 @@ lint:
 race:
 	$(GO) test -race -short ./...
 
+# Un-short race pass over the parallel runner and the workers=1-vs-8
+# determinism sweep — the two places a data race could corrupt results.
+race-runner:
+	$(GO) test -race -timeout 1800s ./internal/runner
+	$(GO) test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight' ./internal/experiments
+
 check:
 	sh scripts/check.sh
+
+# Records wall-clock for `cmd/experiments -exp all` at workers=1 vs
+# workers=NumCPU into BENCH_BASELINE.json and verifies the two outputs
+# are byte-identical.
+bench-baseline:
+	sh scripts/bench_baseline.sh

@@ -6,8 +6,16 @@ package repro_test
 // cmd/experiments, which regenerates EXPERIMENTS.md). Reported custom
 // metrics carry the experiment's headline numbers so `go test -bench`
 // output doubles as a quick reproduction check.
+//
+// BenchmarkExperiments drives every registered experiment through the
+// registry at both 1 worker and all CPUs, so `-bench Experiments` doubles
+// as a local speedup measurement for the parallel runner.
 
 import (
+	"context"
+	"io"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/experiments"
@@ -20,13 +28,41 @@ func benchOpt(seed int64) experiments.Options {
 	return experiments.Options{Missions: 2, Seed: seed, Wind: 2}
 }
 
+// BenchmarkExperiments runs every registered experiment via the registry
+// at workers=1 and workers=NumCPU; comparing the two sub-benchmark
+// wall-clocks measures the runner's parallel speedup (output is identical
+// either way — see TestParallelDeterminism).
+func BenchmarkExperiments(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		for _, e := range experiments.All() {
+			e := e
+			b.Run(e.Name()+"/workers="+strconv.Itoa(workers), func(b *testing.B) {
+				opt := benchOpt(1)
+				opt.Workers = workers
+				for i := 0; i < b.N; i++ {
+					if err := e.Run(context.Background(), io.Discard, opt); err != nil {
+						b.Fatalf("%s: %v", e.Name(), err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTable3Overheads measures the calibration + overhead pipeline
 // (δ derivation and DeLorean's CPU/memory accounting) for one real RV.
 func BenchmarkTable3Overheads(b *testing.B) {
+	ctx := context.Background()
 	p := vehicle.MustProfile(vehicle.Pixhawk)
 	for i := 0; i < b.N; i++ {
-		cal := experiments.Calibrate(p, benchOpt(int64(i)+1))
-		ov := experiments.Overheads(p, cal.Delta, 15, benchOpt(int64(i)+1))
+		cal, err := experiments.Calibrate(ctx, p, benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ov, err := experiments.Overheads(ctx, p, cal.Delta, 15, benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(ov.CPUPercent, "cpu-overhead-%")
 		b.ReportMetric(float64(ov.MemoryBytes)/1e6, "ckpt-MB")
 	}
@@ -37,7 +73,10 @@ func BenchmarkTable3Overheads(b *testing.B) {
 func BenchmarkFig8aDeltaCalibration(b *testing.B) {
 	p := vehicle.MustProfile(vehicle.ArduCopter)
 	for i := 0; i < b.N; i++ {
-		cal := experiments.Calibrate(p, benchOpt(int64(i)+1))
+		cal, err := experiments.Calibrate(context.Background(), p, benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		var worst float64 = 1
 		for _, f := range cal.FracUnderDelta {
 			if f > 0 && f < worst {
@@ -53,7 +92,10 @@ func BenchmarkFig8aDeltaCalibration(b *testing.B) {
 func BenchmarkFig8bStealthyWindow(b *testing.B) {
 	p := vehicle.MustProfile(vehicle.Tarot)
 	for i := 0; i < b.N; i++ {
-		sw := experiments.StealthyWindow(p, benchOpt(int64(i)+1))
+		sw, err := experiments.StealthyWindow(context.Background(), p, benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(sw.WindowSec, "window-s")
 	}
 }
@@ -62,7 +104,10 @@ func BenchmarkFig8bStealthyWindow(b *testing.B) {
 // and reports DeLorean's average TP rate.
 func BenchmarkTable4Diagnosis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table4(benchOpt(int64(i) + 1))
+		r, err := experiments.Table4(context.Background(), benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range r.Rows {
 			if row.Technique == "DeLorean" {
 				b.ReportMetric(row.AvgTP, "delorean-avg-tp-%")
@@ -75,7 +120,10 @@ func BenchmarkTable4Diagnosis(b *testing.B) {
 // (Table 5) and reports DeLorean's mean mission success.
 func BenchmarkTable5Recovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table5(benchOpt(int64(i) + 1))
+		r, err := experiments.Table5(context.Background(), benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		for t, name := range r.Techniques {
 			if name != "DeLorean" {
 				continue
@@ -94,7 +142,10 @@ func BenchmarkTable5Recovery(b *testing.B) {
 // delay ratio the paper quotes as ≈ 2.5×.
 func BenchmarkTable6TargetedVsWorstCase(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table6(benchOpt(int64(i) + 1))
+		r, err := experiments.Table6(context.Background(), benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		var lqro, dl float64
 		for k := 0; k < 3; k++ {
 			lqro += r.LQRO[k].MissionDly / 3
@@ -110,7 +161,10 @@ func BenchmarkTable6TargetedVsWorstCase(b *testing.B) {
 // for one profile per iteration and reports its average TP.
 func BenchmarkTable7RealRVs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table7(benchOpt(int64(i) + 1))
+		r, err := experiments.Table7(context.Background(), benchOpt(int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Rows) > 0 {
 			b.ReportMetric(r.Rows[0].AvgTP, "pixhawk-avg-tp-%")
 		}
@@ -121,7 +175,10 @@ func BenchmarkTable7RealRVs(b *testing.B) {
 // motivating example (Fig. 2) and reports the mission delay.
 func BenchmarkFig2LQROTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig2(experiments.Options{Seed: int64(i) + 1, Missions: 1})
+		r, err := experiments.Fig2(context.Background(), experiments.Options{Seed: int64(i) + 1, Missions: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.DelayPercent, "delay-%")
 		b.ReportMetric(r.RMSD, "rmsd-rad")
 	}
@@ -131,7 +188,10 @@ func BenchmarkFig2LQROTrace(b *testing.B) {
 // the same scenario (Fig. 9).
 func BenchmarkFig9DeLoreanTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig9(experiments.Options{Seed: int64(i) + 1, Missions: 1})
+		r, err := experiments.Fig9(context.Background(), experiments.Options{Seed: int64(i) + 1, Missions: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.DelayPercent, "delay-%")
 		b.ReportMetric(r.RMSD, "rmsd-rad")
 	}
@@ -141,7 +201,10 @@ func BenchmarkFig9DeLoreanTrace(b *testing.B) {
 // (Fig. 10) and reports the worst detection delay.
 func BenchmarkFig10StealthyRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rs := experiments.Fig10(experiments.Options{Seed: 23, Missions: 1})
+		rs, err := experiments.Fig10(context.Background(), experiments.Options{Seed: 23, Missions: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var worst float64
 		for _, r := range rs {
 			if r.DetectionDelay > worst {

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	calibrate [-rv Pixhawk] [-missions 15] [-seed 1]
+//	calibrate [-rv Pixhawk] [-missions 15] [-seed 1] [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 	"repro/internal/vehicle"
@@ -20,30 +22,40 @@ func main() {
 	rv := flag.String("rv", "", "profile to calibrate (default: all)")
 	missions := flag.Int("missions", 15, "attack-free calibration missions")
 	seed := flag.Int64("seed", 1, "master seed")
+	workers := flag.Int("workers", 0, "parallel mission workers (0 = all CPUs)")
 	flag.Parse()
 
-	if err := run(*rv, *missions, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *rv, *missions, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rv string, missions int, seed int64) error {
+func run(ctx context.Context, rv string, missions int, seed int64, workers int) error {
 	names := vehicle.AllRVs()
 	if rv != "" {
 		names = []vehicle.ProfileName{vehicle.ProfileName(rv)}
 	}
-	opt := experiments.Options{Missions: missions, Seed: seed, Wind: 4.5}
+	opt := experiments.Options{Missions: missions, Seed: seed, Wind: 4.5, Workers: workers}
 	for _, name := range names {
 		p, err := vehicle.LookupProfile(name)
 		if err != nil {
 			return err
 		}
-		cal := experiments.Calibrate(p, opt)
+		cal, err := experiments.Calibrate(ctx, p, opt)
+		if err != nil {
+			return err
+		}
 		if err := experiments.WriteCalibration(os.Stdout, cal); err != nil {
 			return err
 		}
-		sw := experiments.StealthyWindow(p, experiments.Options{Missions: missions / 2, Seed: seed, Wind: 2})
+		sw, err := experiments.StealthyWindow(ctx, p, experiments.Options{Missions: missions / 2, Seed: seed, Wind: 2, Workers: workers})
+		if err != nil {
+			return err
+		}
 		if err := experiments.WriteStealthyWindow(os.Stdout, sw); err != nil {
 			return err
 		}

@@ -2,37 +2,48 @@
 // simulated substrate. Each experiment is selectable; "all" runs the full
 // evaluation and emits the markdown recorded in EXPERIMENTS.md.
 //
+// Missions fan out across a deterministic parallel worker pool
+// (internal/runner): -workers changes wall-clock time only, never the
+// rendered output.
+//
 // Usage:
 //
-//	experiments -exp all -missions 25 -seed 1 [-out EXPERIMENTS.md]
+//	experiments -exp all -missions 25 -seed 1 [-workers 0] [-out EXPERIMENTS.md]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/vehicle"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table4, table5, table6, table7, fig2, fig8a, fig8b, fig9, fig10")
+	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experiments.Names(), ", ")+", fig8a")
 	missions := flag.Int("missions", 25, "missions per condition (paper: 100)")
 	seed := flag.Int64("seed", 1, "master seed")
 	windCap := flag.Float64("wind", 3, "mission wind cap in m/s")
+	workers := flag.Int("workers", 0, "parallel mission workers (0 = all CPUs); output is identical at any setting")
 	out := flag.String("out", "", "output file (default stdout)")
+	progress := flag.Bool("progress", false, "report per-sweep mission completion on stderr")
 	flag.Parse()
 
-	if err := run(*exp, *missions, *seed, *windCap, *out); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *exp, *missions, *seed, *windCap, *workers, *out, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, missions int, seed int64, windCap float64, outPath string) error {
+func run(ctx context.Context, exp string, missions int, seed int64, windCap float64, workers int, outPath string, progress bool) error {
 	var w io.Writer = os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -42,126 +53,39 @@ func run(exp string, missions int, seed int64, windCap float64, outPath string) 
 		defer f.Close()
 		w = f
 	}
-	opt := experiments.Options{Missions: missions, Seed: seed, Wind: windCap}
+	opt := experiments.Options{Missions: missions, Seed: seed, Wind: windCap, Workers: workers}
+	if progress {
+		opt.Progress = func(completed, total int) {
+			if completed == total || completed%10 == 0 {
+				fmt.Fprintf(os.Stderr, "  sweep %d/%d\r", completed, total)
+			}
+		}
+	}
 
-	type step struct {
-		name string
-		run  func(io.Writer, experiments.Options) error
-	}
-	steps := []step{
-		{name: "table3", run: runTable3},
-		{name: "table4", run: runTable4},
-		{name: "table5", run: runTable5},
-		{name: "table6", run: runTable6},
-		{name: "table7", run: runTable7},
-		{name: "fig2", run: runFig2},
-		{name: "fig8b", run: runFig8b},
-		{name: "fig9", run: runFig9},
-		{name: "fig10", run: runFig10},
-	}
-	matched := false
-	for _, s := range steps {
-		if exp != "all" && exp != s.name && !(exp == "fig8a" && s.name == "table3") {
-			continue
+	if exp != "all" {
+		e, ok := experiments.Get(exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have: all, %s)", exp, strings.Join(experiments.Names(), ", "))
 		}
-		matched = true
-		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s (missions=%d seed=%d)...\n", s.name, missions, seed)
-		if err := s.run(w, opt); err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
-		}
-		fmt.Fprintf(os.Stderr, "%s done in %s\n", s.name, time.Since(start).Round(time.Second))
+		return timed(ctx, e, w, opt)
 	}
-	if !matched {
-		return fmt.Errorf("unknown experiment %q", exp)
+	for _, e := range experiments.All() {
+		if err := timed(ctx, e, w, opt); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func runTable3(w io.Writer, opt experiments.Options) error {
-	fmt.Fprintln(w, "## Table 3 / Fig. 8a — δ calibration, window sizing, overheads")
-	fmt.Fprintln(w)
-	calOpt := opt
-	calOpt.Missions = clampMissions(opt.Missions, 8, 25)
-	calOpt.Wind = 4.5
-	var overheads []experiments.OverheadResult
-	for _, name := range vehicle.AllRVs() {
-		p := vehicle.MustProfile(name)
-		cal := experiments.Calibrate(p, calOpt)
-		if err := experiments.WriteCalibration(w, cal); err != nil {
-			return err
-		}
-		sw := experiments.StealthyWindow(p, experiments.Options{Missions: clampMissions(opt.Missions, 6, 15), Seed: opt.Seed, Wind: opt.Wind})
-		if err := experiments.WriteStealthyWindow(w, sw); err != nil {
-			return err
-		}
-		if isReal(name) {
-			ov := experiments.Overheads(p, cal.Delta, sw.WindowSec, experiments.Options{Missions: clampMissions(opt.Missions, 4, 10), Seed: opt.Seed, Wind: opt.Wind})
-			overheads = append(overheads, ov)
-		}
+// timed runs one experiment with a stderr progress line. The timing lines
+// go to stderr precisely so the -out artifact stays byte-identical across
+// runs and worker counts.
+func timed(ctx context.Context, e experiments.Experiment, w io.Writer, opt experiments.Options) error {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running %s (missions=%d seed=%d workers=%d)...\n", e.Name(), opt.Missions, opt.Seed, opt.Workers)
+	if err := e.Run(ctx, w, opt); err != nil {
+		return err
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "Overheads (real-RV profiles, §6.6):")
-	fmt.Fprintln(w)
-	return experiments.WriteOverheads(w, overheads)
-}
-
-func runTable4(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteTable4(w, experiments.Table4(opt))
-}
-
-func runTable5(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteTable5(w, experiments.Table5(opt))
-}
-
-func runTable6(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteTable6(w, experiments.Table6(opt))
-}
-
-func runTable7(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteTable7(w, experiments.Table7(opt))
-}
-
-func runFig2(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteTrace(w, "Fig. 2", experiments.Fig2(opt))
-}
-
-func runFig8b(w io.Writer, opt experiments.Options) error {
-	fmt.Fprintln(w, "### Fig. 8b — stealthy-attack detection delay CDF")
-	fmt.Fprintln(w)
-	for _, name := range []vehicle.ProfileName{vehicle.Tarot, vehicle.AionR1} {
-		sw := experiments.StealthyWindow(vehicle.MustProfile(name), opt)
-		if err := experiments.WriteStealthyWindow(w, sw); err != nil {
-			return err
-		}
-	}
-	fmt.Fprintln(w)
+	fmt.Fprintf(os.Stderr, "%s done in %s\n", e.Name(), time.Since(start).Round(time.Second))
 	return nil
-}
-
-func runFig9(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteTrace(w, "Fig. 9", experiments.Fig9(opt))
-}
-
-func runFig10(w io.Writer, opt experiments.Options) error {
-	return experiments.WriteFig10(w, experiments.Fig10(opt))
-}
-
-func clampMissions(n, lo, hi int) int {
-	if n < lo {
-		return lo
-	}
-	if n > hi {
-		return hi
-	}
-	return n
-}
-
-func isReal(name vehicle.ProfileName) bool {
-	for _, r := range vehicle.RealRVs() {
-		if r == name {
-			return true
-		}
-	}
-	return false
 }

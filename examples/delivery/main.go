@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -27,15 +28,22 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	opt := experiments.Options{Seed: 11, Missions: 1}
 
 	fmt.Println("=== worst-case recovery (LQR-O): Fig. 2 scenario ===")
-	lqro := experiments.Fig2(opt)
+	lqro, err := experiments.Fig2(ctx, opt)
+	if err != nil {
+		return err
+	}
 	report(lqro)
 
 	fmt.Println()
 	fmt.Println("=== diagnosis-guided recovery (DeLorean): Fig. 9 scenario ===")
-	dl := experiments.Fig9(opt)
+	dl, err := experiments.Fig9(ctx, opt)
+	if err != nil {
+		return err
+	}
 	report(dl)
 
 	fmt.Println()

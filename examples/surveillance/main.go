@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -27,7 +28,10 @@ func main() {
 }
 
 func run() error {
-	results := experiments.Fig10(experiments.Options{Seed: 23, Missions: 1})
+	results, err := experiments.Fig10(context.Background(), experiments.Options{Seed: 23, Missions: 1})
+	if err != nil {
+		return err
+	}
 	fmt.Println("adaptive stealthy attacks vs the CUSUM-equipped detector:")
 	fmt.Println()
 	allGood := true

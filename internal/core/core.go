@@ -27,7 +27,6 @@ import (
 	"fmt"
 
 	"repro/internal/checkpoint"
-	"repro/internal/clock"
 	"repro/internal/control"
 	"repro/internal/detect"
 	"repro/internal/diagnosis"
@@ -156,7 +155,8 @@ type Framework struct {
 	diagnosisRan        bool
 	recoveryActivations int
 	lastErr             sensors.PhysState
-	defenseNS           int64
+	defenseNS           int64 // modeled defense cost (see costmodel.go)
+	baseNS              int64 // modeled non-defense loop cost
 	ticks               int
 }
 
@@ -293,10 +293,7 @@ func (f *Framework) LastError() sensors.PhysState { return f.lastErr }
 // MemoryBytes reports the checkpoint buffer footprint (Table 3).
 func (f *Framework) MemoryBytes() int { return f.recorder.MemoryBytes() }
 
-// DefenseOverheadNS returns the cumulative nanoseconds spent in the
-// defense modules (detector, diagnosis, checkpointing, reconstruction)
-// and the number of ticks, for the Table 3 CPU-overhead row.
-func (f *Framework) DefenseOverheadNS() (int64, int) { return f.defenseNS, f.ticks }
+// The Table 3 CPU-overhead accounting lives in costmodel.go (Overhead).
 
 // active returns the sensor set currently trusted by the fusion.
 func (f *Framework) active() sensors.TypeSet {
@@ -325,10 +322,9 @@ func (f *Framework) Tick(t float64, meas sensors.PhysState, target mission.Waypo
 	f.filter.PredictHybrid(f.lastInput, meas, active, dt)
 	_ = f.filter.Correct(meas, active) // singularity cannot occur with diagonal R > 0
 
-	// 2–4. Defense machinery (timed for the overhead accounting).
-	defStart := clock.Now()
+	// 2–4. Defense machinery (charged to the overhead cost model).
+	f.chargeTick()
 	u, engaged := f.defenseTick(t, meas, target)
-	f.defenseNS += clock.Since(defStart).Nanoseconds()
 
 	// 5. Control.
 	if !engaged {
@@ -443,6 +439,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 	// sensors such as the 10 Hz GPS reveal their bias only at their next
 	// sample, up to 100 ms after the inertial channels).
 	if f.mode == ModeRecovery && f.strategy == StrategyDeLorean && t < f.diagUnionUntil {
+		f.chargeDiagnosis()
 		extra := f.diagnoser.Diagnose()
 		grew := false
 		for _, typ := range extra.List() {
@@ -454,6 +451,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 		if grew {
 			f.lastDiagnosis = f.compromised.Clone()
 			if rec, ok := f.recorder.LatestTrusted(); ok && t-rec.T <= 2*f.cfg.WindowSec+5 {
+				f.chargeReconstruction()
 				if _, hybrid, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
 					f.filter.SetState(hybrid)
 				}
@@ -470,6 +468,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 	if f.mode != ModeRecovery {
 		return vehicle.Input{}, false
 	}
+	f.chargeRecoveryTick()
 
 	// Per-sensor re-validation: an isolated sensor whose channels have
 	// agreed with the internal estimate for a sustained period is
@@ -533,6 +532,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 
 // runDiagnosisAndMaybeRecover is steps 3–4 of Fig. 3.
 func (f *Framework) runDiagnosisAndMaybeRecover(t float64, meas sensors.PhysState) {
+	f.chargeDiagnosis()
 	diagnosed := f.diagnoser.Diagnose()
 	f.lastDiagnosis = diagnosed.Clone()
 	f.diagnosisRan = true
@@ -571,12 +571,14 @@ func (f *Framework) runDiagnosisAndMaybeRecover(t float64, meas sensors.PhysStat
 		// Unreachable: the undefended baseline returns before diagnosis.
 	case StrategyDeLorean:
 		if anchorFresh {
+			f.chargeReconstruction()
 			if _, hybrid, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
 				f.filter.SetState(hybrid)
 			}
 		}
 	case StrategyLQRO:
 		if anchorFresh {
+			f.chargeReconstruction()
 			if rolled, err := f.reconstructor.RollForward(f.recorder, f.compromised); err == nil {
 				f.filter.SetState(rolled)
 			}

@@ -201,12 +201,33 @@ func TestDefenseOverheadAccounting(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		fw.Tick(float64(i)*0.01, meas, target)
 	}
-	ns, ticks := fw.DefenseOverheadNS()
+	defNS, totNS, ticks := fw.Overhead()
 	if ticks != 100 {
 		t.Errorf("ticks = %d, want 100", ticks)
 	}
-	if ns <= 0 {
-		t.Error("defense time not accounted")
+	if defNS <= 0 {
+		t.Error("defense cost not accounted")
+	}
+	if totNS <= defNS {
+		t.Errorf("total cost %d not greater than defense cost %d", totNS, defNS)
+	}
+	// This synthetic hover keeps the detector alerted (the zero-input
+	// shadow model free-falls away from the hovering measurement), so
+	// diagnosis is charged nearly every tick — the defense share sits
+	// well above the steady-state floor but must stay below the alerted
+	// ceiling. The mission-level Table 3 band is asserted by the
+	// experiments. Identical tick sequences must charge identical costs
+	// (the accounting is a model, not a measurement).
+	if share := float64(defNS) / float64(totNS); share <= 0.02 || share >= 0.6 {
+		t.Errorf("defense share = %.3f, want (0.02, 0.6)", share)
+	}
+	fw2 := newFW(t, StrategyDeLorean)
+	for i := 0; i < 100; i++ {
+		fw2.Tick(float64(i)*0.01, meas, target)
+	}
+	d2, t2, _ := fw2.Overhead()
+	if d2 != defNS || t2 != totNS {
+		t.Errorf("cost model not deterministic: (%d,%d) vs (%d,%d)", d2, t2, defNS, totNS)
 	}
 	if fw.MemoryBytes() <= 0 {
 		t.Error("checkpoint memory not accounted")

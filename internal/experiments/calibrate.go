@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/diagnosis"
+	"repro/internal/runner"
 	"repro/internal/sensors"
 	"repro/internal/stat"
 	"repro/internal/vehicle"
@@ -30,31 +33,42 @@ type CalibrationResult struct {
 // Calibrate runs attack-free missions for the profile (§5.4: "between
 // 15–25 attack-free missions for each RV"), derives δ = median + k·stdev
 // per physical state, and validates the thresholds on held-out missions.
-func Calibrate(p vehicle.Profile, opt Options) CalibrationResult {
+// Calibration and validation missions are drawn up front and flown as one
+// parallel sweep; the held-out block starts at index opt.Missions.
+func Calibrate(ctx context.Context, p vehicle.Profile, opt Options) (CalibrationResult, error) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
+	out := CalibrationResult{Profile: p.Name, Missions: opt.Missions}
 
-	var samples []sensors.PhysState
-	for i := 0; i < opt.Missions; i++ {
+	heldMissions := opt.Missions/2 + 1
+	var jobs []runner.Job
+	for i := 0; i < opt.Missions+heldMissions; i++ {
 		sc := drawScenario(p, rng, opt.Wind)
 		cfg := sc.simConfig(p, core.StrategyNone, core.DefaultDelta(p), 15)
 		cfg.CollectErrors = true
-		res := mustRun(cfg)
+		jobs = append(jobs, runner.Job{
+			Label: fmt.Sprintf("calibrate/%s/mission=%d/seed=%d", p.Name, i, sc.seed),
+			Cfg:   cfg,
+		})
+	}
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return out, err
+	}
+
+	var samples []sensors.PhysState
+	for _, res := range results[:opt.Missions] {
 		samples = append(samples, res.ErrorSamples...)
 	}
 	delta := core.CalibrateDelta(samples, 3)
+	out.Delta = delta
 
 	// Validation pass on held-out missions (§5.4: "we validated δ values
 	// by running another 15 missions").
 	var held []sensors.PhysState
-	for i := 0; i < opt.Missions/2+1; i++ {
-		sc := drawScenario(p, rng, opt.Wind)
-		cfg := sc.simConfig(p, core.StrategyNone, core.DefaultDelta(p), 15)
-		cfg.CollectErrors = true
-		res := mustRun(cfg)
+	for _, res := range results[opt.Missions:] {
 		held = append(held, res.ErrorSamples...)
 	}
-	out := CalibrationResult{Profile: p.Name, Delta: delta, Missions: opt.Missions}
 	zErrs := make([]float64, 0, len(held))
 	for _, idx := range sensors.AllStates() {
 		var under, total int
@@ -72,7 +86,7 @@ func Calibrate(p vehicle.Profile, opt Options) CalibrationResult {
 		zErrs = append(zErrs, e[sensors.SZ])
 	}
 	out.CDF = stat.EmpiricalCDF(zErrs)
-	return out
+	return out, nil
 }
 
 // StealthyWindowResult is the Fig. 8b / §5.4 window-sizing output: the
@@ -96,12 +110,14 @@ type StealthyWindowResult struct {
 // the checkpoint window accordingly (§5.4: "stealthy attacks against GPS
 // remain undetected for the maximum duration... we determine the window
 // size for each RV to be larger").
-func StealthyWindow(p vehicle.Profile, opt Options) StealthyWindowResult {
+func StealthyWindow(ctx context.Context, p vehicle.Profile, opt Options) (StealthyWindowResult, error) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 7))
 	out := StealthyWindowResult{Profile: p.Name, DetectedAll: true}
 
 	const attackDur = 30.0
+	var jobs []runner.Job
+	starts := make([]float64, 0, opt.Missions)
 	for i := 0; i < opt.Missions; i++ {
 		sc := drawScenario(p, rng, opt.Wind)
 		start := sc.attackStart
@@ -114,8 +130,19 @@ func StealthyWindow(p vehicle.Profile, opt Options) StealthyWindowResult {
 		cfg := sc.simConfig(p, core.StrategyDeLorean, core.DefaultDelta(p), 60)
 		cfg.Attacks = attack.NewSchedule(sda)
 		cfg.TraceEvery = 5
-		res := mustRun(cfg)
+		jobs = append(jobs, runner.Job{
+			Label: fmt.Sprintf("fig8b/%s/mission=%d/seed=%d", p.Name, i, sc.seed),
+			Cfg:   cfg,
+		})
+		starts = append(starts, start)
+	}
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return out, err
+	}
 
+	for i, res := range results {
+		start := starts[i]
 		delay := attackDur
 		detected := false
 		for _, tp := range res.Trace {
@@ -135,7 +162,7 @@ func StealthyWindow(p vehicle.Profile, opt Options) StealthyWindowResult {
 	if out.WindowSec < 5 {
 		out.WindowSec = 5
 	}
-	return out
+	return out, nil
 }
 
 func minMax(xs []float64) (float64, float64) {
@@ -159,7 +186,8 @@ func minMax(xs []float64) (float64, float64) {
 type OverheadResult struct {
 	Profile vehicle.ProfileName
 	// CPUPercent is the defense modules' share of the control loop's
-	// compute time.
+	// compute time, from the deterministic cost model (internal/core
+	// costmodel.go) — identical on every run and at any worker count.
 	CPUPercent float64
 	// BatteryPercent is the extra motor-effort energy under attack
 	// relative to the attack-free ground truth (recovery actions + delay).
@@ -172,29 +200,44 @@ type OverheadResult struct {
 
 // Overheads measures DeLorean's runtime overheads on the profile
 // (Table 3, §6.6) by flying attacked missions and comparing against
-// attack-free ground truth.
-func Overheads(p vehicle.Profile, delta diagnosis.Delta, window float64, opt Options) OverheadResult {
+// attack-free ground truth. Each mission submits an (attacked, ground
+// truth) job pair.
+func Overheads(ctx context.Context, p vehicle.Profile, delta diagnosis.Delta, window float64, opt Options) (OverheadResult, error) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 13))
 	out := OverheadResult{Profile: p.Name, WindowSec: window}
 
-	var defNS, totNS int64
-	var energyAtk, energyGT float64
+	var jobs []runner.Job
 	for i := 0; i < opt.Missions; i++ {
 		sc := drawScenario(p, rng, opt.Wind)
 		atk := sc.buildAttack(rng, 1+rng.Intn(2))
-
 		cfg := sc.simConfig(p, core.StrategyDeLorean, delta, window)
 		cfg.Attacks = atk
-		res := mustRun(cfg)
+		jobs = append(jobs,
+			runner.Job{
+				Label: fmt.Sprintf("overheads/%s/mission=%d/seed=%d", p.Name, i, sc.seed),
+				Cfg:   cfg,
+			},
+			runner.Job{
+				Label: fmt.Sprintf("overheads/%s/gt/mission=%d/seed=%d", p.Name, i, sc.seed),
+				Cfg:   sc.simConfig(p, core.StrategyDeLorean, delta, window),
+			})
+	}
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return out, err
+	}
+
+	var defNS, totNS int64
+	var energyAtk, energyGT float64
+	for i := 0; i < opt.Missions; i++ {
+		res, gt := results[2*i], results[2*i+1]
 		defNS += res.DefenseNS
 		totNS += res.TotalNS
 		energyAtk += res.EnergyProxy
 		if mb := res.MemoryBytes; mb > out.MemoryBytes {
 			out.MemoryBytes = mb
 		}
-
-		gt := mustRun(sc.simConfig(p, core.StrategyDeLorean, delta, window))
 		energyGT += gt.EnergyProxy
 	}
 	if totNS > 0 {
@@ -203,5 +246,5 @@ func Overheads(p vehicle.Profile, delta diagnosis.Delta, window float64, opt Opt
 	if energyGT > 0 {
 		out.BatteryPercent = 100 * (energyAtk - energyGT) / energyGT
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestParallelDeterminism is the PR's headline acceptance check at test
+// scale: rendering the same experiment at 1 worker and at 8 workers must
+// produce byte-identical markdown. It exercises the full pre-draw →
+// parallel sweep → ordered reduce path, including the singleflight
+// calibration cache (table5) and the derived per-episode rngs (fig10).
+//
+// It is skipped under -short; the race gate (scripts/check.sh) runs it
+// explicitly un-short with -race.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mission determinism sweep")
+	}
+	opt := Options{Missions: 1, Seed: 11, Wind: 2}
+	for _, name := range []string{"table5", "table4", "fig10"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, ok := Get(name)
+			if !ok {
+				t.Fatalf("experiment %q not registered", name)
+			}
+			render := func(workers int) string {
+				var buf bytes.Buffer
+				o := opt
+				o.Workers = workers
+				if err := e.Run(context.Background(), &buf, o); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return buf.String()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Errorf("output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+			}
+			if len(serial) == 0 {
+				t.Error("experiment rendered no output")
+			}
+		})
+	}
+}

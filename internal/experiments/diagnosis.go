@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/attack"
@@ -9,8 +11,8 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/floats"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sensors"
-	"repro/internal/vehicle"
 )
 
 // Table4Row is one diagnosis technique's row of Table 4.
@@ -40,7 +42,7 @@ type Table4Result struct {
 }
 
 // diagnoserFactory builds a fresh diagnoser per mission (diagnosers are
-// stateful).
+// stateful, so every job gets its own instance).
 type diagnoserFactory struct {
 	name  string
 	build func(d diagnosis.Delta) diagnosis.Diagnoser
@@ -57,27 +59,32 @@ func diagnoserFactories() []diagnoserFactory {
 
 // Table4 runs the §6.1 diagnosis experiment: SDAs targeting 1..4 sensors
 // on the simulated RVs (TP), plus no-attack missions under ~15 km/h wind
-// with forced detector alarms (FP).
-func Table4(opt Options) Table4Result {
+// with forced detector alarms (FP). Every technique's full mission list —
+// TP sweeps and FP probes — is drawn first, then flown in one parallel
+// sweep per technique.
+func Table4(ctx context.Context, opt Options) (Table4Result, error) {
 	opt = opt.withDefaults()
 	out := Table4Result{Missions: opt.Missions}
-	profiles := []vehicle.Profile{
-		vehicle.MustProfile(vehicle.ArduCopter),
-		vehicle.MustProfile(vehicle.ArduRover),
+	profiles := simProfiles()
+	fpMissions := opt.Missions / 2
+	if fpMissions < 4 {
+		fpMissions = 4
 	}
 
 	for _, fac := range diagnoserFactories() {
-		var row Table4Row
-		row.Technique = fac.name
+		var jobs []runner.Job
+		var wantTargets []sensors.TypeSet
 		// Identical attack draws across techniques: re-seed per technique
 		// with the same master seed (§6.1: "We launched the same attacks
 		// for all the diagnosis techniques").
 		rng := rand.New(rand.NewSource(opt.Seed))
 		for k := 1; k <= 4; k++ {
-			var hits int
 			for i := 0; i < opt.Missions; i++ {
 				p := profiles[i%len(profiles)]
-				delta := DeltaFor(p)
+				delta, err := DeltaFor(ctx, p, opt)
+				if err != nil {
+					return out, err
+				}
 				sc := drawScenario(p, rng, opt.Wind)
 				targets := attack.RandomTargets(rng, k)
 				sda := attack.New(rng, attack.DefaultParams(), targets, sc.attackStart, sc.attackStart+sc.attackDur)
@@ -85,26 +92,23 @@ func Table4(opt Options) Table4Result {
 				cfg := sc.simConfig(p, core.StrategyDeLorean, delta, 15)
 				cfg.Diagnoser = fac.build(delta)
 				cfg.Attacks = attack.NewSchedule(sda)
-				res := mustRun(cfg)
-				if res.DiagnosisRanDuringAttack && res.DiagnosedDuringAttack.Equal(targets) {
-					hits++
-				}
+				jobs = append(jobs, runner.Job{
+					Label: fmt.Sprintf("table4/%s/k=%d/mission=%d/seed=%d", fac.name, k, i, sc.seed),
+					Cfg:   cfg,
+				})
+				wantTargets = append(wantTargets, targets)
 			}
-			row.TPByCount[k-1] = metrics.Rate(hits, opt.Missions)
 		}
-		row.AvgTP = (row.TPByCount[0] + row.TPByCount[1] + row.TPByCount[2] + row.TPByCount[3]) / 4
 
 		// FP runs: no attack, ~15 km/h (4.2 m/s) wind, forced detector
 		// alarms mid-mission.
 		fpRng := rand.New(rand.NewSource(opt.Seed + 1))
-		var fps, gratuitous int
-		fpMissions := opt.Missions / 2
-		if fpMissions < 4 {
-			fpMissions = 4
-		}
 		for i := 0; i < fpMissions; i++ {
 			p := profiles[i%len(profiles)]
-			delta := DeltaFor(p)
+			delta, err := DeltaFor(ctx, p, opt)
+			if err != nil {
+				return out, err
+			}
 			sc := drawScenario(p, fpRng, 0)
 			// The paper's FP condition is a "modest wind speed of 15 km/h"
 			// (≈ 4.2 m/s mean); gusts stay within the calibration envelope.
@@ -117,17 +121,46 @@ func Table4(opt Options) Table4Result {
 				{sc.attackStart, sc.attackStart + 2},
 				{sc.attackStart + 8, sc.attackStart + 10},
 			}}
-			res := mustRun(cfg)
-			if res.RecoveryActivations > 0 {
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("table4/%s/fp/mission=%d/seed=%d", fac.name, i, sc.seed),
+				Cfg:   cfg,
+			})
+		}
+
+		results, err := sweep(ctx, jobs, opt)
+		if err != nil {
+			return out, err
+		}
+
+		var row Table4Row
+		row.Technique = fac.name
+		j := 0
+		for k := 1; k <= 4; k++ {
+			var hits int
+			for i := 0; i < opt.Missions; i++ {
+				res := results[j]
+				if res.DiagnosisRanDuringAttack && res.DiagnosedDuringAttack.Equal(wantTargets[j]) {
+					hits++
+				}
+				j++
+			}
+			row.TPByCount[k-1] = metrics.Rate(hits, opt.Missions)
+		}
+		row.AvgTP = (row.TPByCount[0] + row.TPByCount[1] + row.TPByCount[2] + row.TPByCount[3]) / 4
+
+		var fps, gratuitous int
+		for i := 0; i < fpMissions; i++ {
+			if res := results[j]; res.RecoveryActivations > 0 {
 				fps++
 				gratuitous += res.RecoveryActivations
 			}
+			j++
 		}
 		row.FP = metrics.Rate(fps, fpMissions)
 		out.Rows = append(out.Rows, row)
 		out.GratuitousActivations = append(out.GratuitousActivations, gratuitous)
 	}
-	return out
+	return out, nil
 }
 
 // windowedForcedAlert forces detector alarms during fixed time windows —

@@ -1,19 +1,31 @@
 // Package experiments defines one runnable experiment per table and
 // figure of the paper's evaluation (§6): the workload generators,
 // parameter sweeps, baselines, and aggregation that regenerate each
-// reported result on the simulated substrate. cmd/experiments drives them
-// and renders the outputs recorded in EXPERIMENTS.md.
+// reported result on the simulated substrate.
+//
+// Every experiment follows the same two-phase shape: it first draws its
+// complete scenario list from the master seed — consuming the rng exactly
+// as a serial sweep would — and then submits the resulting jobs to the
+// deterministic parallel runner (internal/runner), reducing the results
+// in submission order. Randomness is therefore fixed before fan-out and
+// the rendered tables are byte-identical at any worker count.
+//
+// The registry (registry.go) exposes each experiment behind the
+// Experiment interface; cmd/experiments drives them and renders the
+// outputs recorded in EXPERIMENTS.md.
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/diagnosis"
 	"repro/internal/mission"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
 )
@@ -32,6 +44,14 @@ type Options struct {
 	// uses a 0–3 m/s draw to keep the LQR-O baseline within its
 	// paper-reported operating regime (see DESIGN.md substitution notes).
 	Wind float64
+	// Workers sizes the parallel mission runner's pool; <= 0 uses all
+	// CPUs. Worker count affects wall-clock time only — experiment
+	// output is byte-identical at any setting.
+	Workers int
+	// Progress, when non-nil, receives mission-completion counts from
+	// each sweep an experiment submits (the count restarts at every
+	// sweep). Calls are serialized by the runner.
+	Progress func(completed, total int)
 }
 
 // withDefaults fills unset options.
@@ -46,6 +66,17 @@ func (o Options) withDefaults() Options {
 		o.Wind = 0
 	}
 	return o
+}
+
+// runnerOptions extracts the execution knobs for the parallel runner.
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{Workers: o.Workers, Progress: o.Progress}
+}
+
+// sweep executes pre-drawn jobs on the parallel runner, returning results
+// in submission order.
+func sweep(ctx context.Context, jobs []runner.Job, opt Options) ([]sim.Result, error) {
+	return runner.Run(ctx, jobs, opt.runnerOptions())
 }
 
 // scenario is one mission draw: plan, wind, timing, and seed.
@@ -102,31 +133,54 @@ func (sc scenario) buildAttack(rng *rand.Rand, k int) *attack.Schedule {
 	return attack.NewSchedule(sda)
 }
 
-// mustRun runs a mission and panics on configuration errors (experiment
-// configs are produced by this package and must be valid).
-func mustRun(cfg sim.Config) sim.Result {
-	res, err := sim.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	return res
+// deltaEntry is one memoized calibration outcome; the sync.Once gives the
+// cache singleflight semantics (concurrent first callers block on one
+// calibration pass instead of racing duplicates).
+type deltaEntry struct {
+	once  sync.Once
+	delta diagnosis.Delta
+	err   error
 }
 
 // deltaCache memoizes per-profile calibrated thresholds so the table
 // experiments share one calibration pass per RV (as the paper derives
 // Table 3 once and reuses it).
-var deltaCache sync.Map // vehicle.ProfileName -> diagnosis.Delta
+var deltaCache sync.Map // vehicle.ProfileName -> *deltaEntry
+
+// calibrationPasses counts completed calibration passes, for the
+// singleflight test.
+var calibrationPasses atomic.Int64
 
 // DeltaFor returns calibrated δ thresholds for the profile, calibrating
 // on first use with attack-free missions whose wind envelope (0–4.5 m/s)
-// covers both the mission wind and the 15 km/h FP condition.
-func DeltaFor(p vehicle.Profile) diagnosis.Delta {
-	if v, ok := deltaCache.Load(p.Name); ok {
-		return v.(diagnosis.Delta)
+// covers both the mission wind and the 15 km/h FP condition. The
+// calibration draw (missions, seed, wind) is fixed so every caller shares
+// one cache entry; opt contributes only the execution knobs (Workers).
+// Concurrent callers for the same profile share a single calibration pass.
+func DeltaFor(ctx context.Context, p vehicle.Profile, opt Options) (diagnosis.Delta, error) {
+	e, _ := deltaCache.LoadOrStore(p.Name, &deltaEntry{})
+	entry := e.(*deltaEntry)
+	entry.once.Do(func() {
+		res, err := Calibrate(ctx, p, Options{
+			Missions: 8,
+			Seed:     1000 + int64(len(p.Name)),
+			Wind:     4.5,
+			Workers:  opt.Workers,
+		})
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.delta = res.Delta
+		calibrationPasses.Add(1)
+	})
+	if entry.err != nil {
+		// Evict the failed entry so a transient failure (a cancelled
+		// context, say) does not poison the cache for later callers.
+		deltaCache.Delete(p.Name)
+		return diagnosis.Delta{}, entry.err
 	}
-	res := Calibrate(p, Options{Missions: 8, Seed: 1000 + int64(len(p.Name)), Wind: 4.5})
-	deltaCache.Store(p.Name, res.Delta)
-	return res.Delta
+	return entry.delta, nil
 }
 
 // newSeededRand returns a deterministic source for tests.

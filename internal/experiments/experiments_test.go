@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/sensors"
@@ -18,7 +20,10 @@ func TestTable4ShapeDeLoreanBeatsRA(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-mission experiment")
 	}
-	r := Table4(tinyOpt())
+	r, err := Table4(context.Background(), tinyOpt())
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4 techniques", len(r.Rows))
 	}
@@ -42,7 +47,10 @@ func TestTable5ShapeDeLoreanBestMS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-mission experiment")
 	}
-	r := Table5(tinyOpt())
+	r, err := Table5(context.Background(), tinyOpt())
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
 	if len(r.Techniques) != 4 {
 		t.Fatalf("techniques = %v", r.Techniques)
 	}
@@ -80,7 +88,10 @@ func TestFig10StealthyRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-mission experiment")
 	}
-	rs := Fig10(Options{Seed: 23, Missions: 1})
+	rs, err := Fig10(context.Background(), Options{Seed: 23, Missions: 1})
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
 	if len(rs) != 3 {
 		t.Fatalf("episodes = %d, want 3", len(rs))
 	}
@@ -102,7 +113,10 @@ func TestCalibrateProducesPositiveDeltas(t *testing.T) {
 		t.Skip("full-mission experiment")
 	}
 	p := vehicle.MustProfile(vehicle.ArduCopter)
-	cal := Calibrate(p, Options{Missions: 3, Seed: 3, Wind: 3})
+	cal, err := Calibrate(context.Background(), p, Options{Missions: 3, Seed: 3, Wind: 3})
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
 	for _, idx := range sensors.AllStates() {
 		if cal.Delta[idx] <= 0 {
 			t.Errorf("delta[%v] = %v", idx, cal.Delta[idx])
@@ -125,7 +139,10 @@ func TestStealthyWindowDetectsAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-mission experiment")
 	}
-	sw := StealthyWindow(vehicle.MustProfile(vehicle.Tarot), Options{Missions: 3, Seed: 5, Wind: 1})
+	sw, err := StealthyWindow(context.Background(), vehicle.MustProfile(vehicle.Tarot), Options{Missions: 3, Seed: 5, Wind: 1})
+	if err != nil {
+		t.Fatalf("StealthyWindow: %v", err)
+	}
 	if !sw.DetectedAll {
 		t.Error("stealthy probes evaded the CUSUM detector entirely")
 	}
@@ -136,21 +153,27 @@ func TestStealthyWindowDetectsAll(t *testing.T) {
 
 func TestWriteFormattersProduceTables(t *testing.T) {
 	var sb strings.Builder
-	WriteTable4(&sb, Table4Result{
+	if err := WriteTable4(&sb, Table4Result{
 		Rows:                  []Table4Row{{Technique: "X", AvgTP: 50}},
 		GratuitousActivations: []int{0},
 		Missions:              1,
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(sb.String(), "Table 4") {
 		t.Error("WriteTable4 missing header")
 	}
 	sb.Reset()
-	WriteTable6(&sb, Table6Result{Missions: 1})
+	if err := WriteTable6(&sb, Table6Result{Missions: 1}); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(sb.String(), "Table 6") {
 		t.Error("WriteTable6 missing header")
 	}
 	sb.Reset()
-	WriteFig10(&sb, []Fig10Result{{Attack: "A1"}})
+	if err := WriteFig10(&sb, []Fig10Result{{Attack: "A1"}}); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(sb.String(), "A1") {
 		t.Error("WriteFig10 missing row")
 	}
@@ -162,5 +185,79 @@ func TestDrawScenarioDeterministic(t *testing.T) {
 	b := drawScenario(p, newSeededRand(9), 3)
 	if a.seed != b.seed || a.attackStart != b.attackStart || a.windMean != b.windMean {
 		t.Error("scenario draw not deterministic")
+	}
+}
+
+func TestRegistryAllAndGet(t *testing.T) {
+	names := Names()
+	want := []string{"table3", "table4", "table5", "table6", "table7", "fig2", "fig8b", "fig9", "fig10"}
+	if len(names) != len(want) {
+		t.Fatalf("registry names = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("registry order[%d] = %q, want %q", i, names[i], n)
+		}
+		e, ok := Get(n)
+		if !ok || e.Name() != n {
+			t.Errorf("Get(%q) = %v, %v", n, e, ok)
+		}
+	}
+	// fig8a is an alias for the table3 calibration block.
+	if e, ok := Get("fig8a"); !ok || e.Name() != "table3" {
+		t.Errorf("Get(fig8a) should resolve to table3, got %v, %v", e, ok)
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+}
+
+func TestDeltaForSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a calibration pass")
+	}
+	p := vehicle.MustProfile(vehicle.ArduCopter)
+	// Reset the cache entry so this test observes its own calibration.
+	deltaCache.Delete(p.Name)
+	before := calibrationPasses.Load()
+
+	const callers = 8
+	deltas := make([]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := DeltaFor(context.Background(), p, Options{})
+			if err != nil {
+				t.Errorf("DeltaFor: %v", err)
+				return
+			}
+			deltas[i] = d[sensors.SX]
+		}(i)
+	}
+	wg.Wait()
+
+	if got := calibrationPasses.Load() - before; got != 1 {
+		t.Errorf("calibration passes = %d, want 1 (singleflight)", got)
+	}
+	for i := 1; i < callers; i++ {
+		if deltas[i] != deltas[0] {
+			t.Errorf("caller %d saw a different delta", i)
+		}
+	}
+}
+
+func TestDeltaForEvictsFailedEntry(t *testing.T) {
+	p := vehicle.MustProfile(vehicle.ArduRover)
+	deltaCache.Delete(p.Name)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DeltaFor(ctx, p, Options{}); err == nil {
+		t.Fatal("cancelled calibration should fail")
+	}
+	// The failed entry must not poison the cache.
+	if _, ok := deltaCache.Load(p.Name); ok {
+		t.Error("failed calibration entry not evicted")
 	}
 }

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sensors"
 	"repro/internal/vehicle"
 )
 
@@ -29,30 +33,60 @@ func table5Strategies() []core.Strategy {
 	return []core.Strategy{core.StrategySSR, core.StrategyPIDPiper, core.StrategyLQRO, core.StrategyDeLorean}
 }
 
-// Table5 runs the §6.2 recovery experiment: identical SDAs mounted for
-// all four techniques, varying the number of sensor types targeted from 1
-// to 5.
-func Table5(opt Options) Table5Result {
-	opt = opt.withDefaults()
-	out := Table5Result{Missions: opt.Missions}
-	profiles := []vehicle.Profile{
+// simProfiles returns the two simulated-RV profiles of §6.1–6.3.
+func simProfiles() []vehicle.Profile {
+	return []vehicle.Profile{
 		vehicle.MustProfile(vehicle.ArduCopter),
 		vehicle.MustProfile(vehicle.ArduRover),
 	}
+}
 
-	for _, strat := range table5Strategies() {
+// Table5 runs the §6.2 recovery experiment: identical SDAs mounted for
+// all four techniques, varying the number of sensor types targeted from 1
+// to 5. All scenarios are drawn up front (the same draws per technique:
+// each technique re-seeds with the master seed) and flown in parallel.
+func Table5(ctx context.Context, opt Options) (Table5Result, error) {
+	opt = opt.withDefaults()
+	out := Table5Result{Missions: opt.Missions}
+	profiles := simProfiles()
+	strategies := table5Strategies()
+
+	var jobs []runner.Job
+	for _, strat := range strategies {
 		out.Techniques = append(out.Techniques, strat.String())
-		var cells [5]Table5Cell
 		rng := rand.New(rand.NewSource(opt.Seed)) // same draws per technique
 		for k := 1; k <= 5; k++ {
-			var crashes, succ int
 			for i := 0; i < opt.Missions; i++ {
 				p := profiles[i%len(profiles)]
 				sc := drawScenario(p, rng, opt.Wind)
 				atk := sc.buildAttack(rng, k)
-				cfg := sc.simConfig(p, strat, DeltaFor(p), 15)
+				delta, err := DeltaFor(ctx, p, opt)
+				if err != nil {
+					return out, err
+				}
+				cfg := sc.simConfig(p, strat, delta, 15)
 				cfg.Attacks = atk
-				res := mustRun(cfg)
+				jobs = append(jobs, runner.Job{
+					Label: fmt.Sprintf("table5/%s/k=%d/mission=%d/seed=%d", strat, k, i, sc.seed),
+					Cfg:   cfg,
+				})
+			}
+		}
+	}
+
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return out, err
+	}
+
+	j := 0
+	for range strategies {
+		var cells [5]Table5Cell
+		for k := 1; k <= 5; k++ {
+			var crashes, succ int
+			for i := 0; i < opt.Missions; i++ {
+				res := results[j]
+				j++
 				if res.Crashed {
 					crashes++
 				}
@@ -67,7 +101,7 @@ func Table5(opt Options) Table5Result {
 		}
 		out.Cells = append(out.Cells, cells)
 	}
-	return out
+	return out, nil
 }
 
 // Table6Cell is one (technique, sensor-count) outcome of Table 6.
@@ -87,41 +121,67 @@ type Table6Result struct {
 	Missions int
 }
 
+// t6sample is one mission's raw Table 6 measurement.
+type t6sample struct {
+	rmsd  float64
+	delay float64
+	crash bool
+	succ  bool
+}
+
 // Table6 runs the §6.3 need-for-diagnosis experiment: DeLorean vs LQR-O
 // under identical SDAs, with RMSD and mission-delay accounting against
-// per-scenario attack-free ground-truth runs.
-func Table6(opt Options) Table6Result {
+// per-scenario attack-free ground-truth runs. Each scenario submits an
+// (attacked, ground-truth) job pair; both strategies redraw the same
+// scenarios from the master seed.
+func Table6(ctx context.Context, opt Options) (Table6Result, error) {
 	opt = opt.withDefaults()
 	out := Table6Result{Missions: opt.Missions}
-	profiles := []vehicle.Profile{
-		vehicle.MustProfile(vehicle.ArduCopter),
-		vehicle.MustProfile(vehicle.ArduRover),
-	}
+	profiles := simProfiles()
+	strategies := []core.Strategy{core.StrategyLQRO, core.StrategyDeLorean}
 
-	type sample struct {
-		rmsd  float64
-		delay float64
-		crash bool
-		succ  bool
-	}
-	collect := func(strat core.Strategy) [5][]sample {
-		var samples [5][]sample
+	var jobs []runner.Job
+	for _, strat := range strategies {
 		rng := rand.New(rand.NewSource(opt.Seed))
 		for k := 1; k <= 5; k++ {
 			for i := 0; i < opt.Missions; i++ {
 				p := profiles[i%len(profiles)]
 				sc := drawScenario(p, rng, opt.Wind)
 				atk := sc.buildAttack(rng, k)
-
-				cfg := sc.simConfig(p, strat, DeltaFor(p), 15)
+				delta, err := DeltaFor(ctx, p, opt)
+				if err != nil {
+					return out, err
+				}
+				cfg := sc.simConfig(p, strat, delta, 15)
 				cfg.Attacks = atk
-				res := mustRun(cfg)
+				jobs = append(jobs,
+					runner.Job{
+						Label: fmt.Sprintf("table6/%s/k=%d/mission=%d/seed=%d", strat, k, i, sc.seed),
+						Cfg:   cfg,
+					},
+					runner.Job{
+						Label: fmt.Sprintf("table6/gt/k=%d/mission=%d/seed=%d", k, i, sc.seed),
+						Cfg:   sc.simConfig(p, core.StrategyNone, delta, 15),
+					})
+			}
+		}
+	}
 
-				gt := mustRun(sc.simConfig(p, core.StrategyNone, DeltaFor(p), 15))
-				baseline := gt.Duration
-				samples[k-1] = append(samples[k-1], sample{
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return out, err
+	}
+
+	collect := func(offset int) [5][]t6sample {
+		var samples [5][]t6sample
+		j := offset
+		for k := 1; k <= 5; k++ {
+			for i := 0; i < opt.Missions; i++ {
+				res, gt := results[j], results[j+1]
+				j += 2
+				samples[k-1] = append(samples[k-1], t6sample{
 					rmsd:  metrics.AttitudeRMSD(res.AttitudeSeries, gt.AttitudeSeries),
-					delay: metrics.PercentMissionDelay(res.Duration, gt.Duration, baseline),
+					delay: metrics.PercentMissionDelay(res.Duration, gt.Duration, gt.Duration),
 					crash: res.Crashed,
 					succ:  res.Success,
 				})
@@ -129,9 +189,9 @@ func Table6(opt Options) Table6Result {
 		}
 		return samples
 	}
-
-	lqro := collect(core.StrategyLQRO)
-	dl := collect(core.StrategyDeLorean)
+	perStrategy := 2 * 5 * opt.Missions
+	lqro := collect(0)
+	dl := collect(perStrategy)
 
 	// Normalize RMSD across ALL recovery-activated missions (Eq. 13 uses
 	// the min/max among recovery-activated missions).
@@ -146,7 +206,7 @@ func Table6(opt Options) Table6Result {
 	}
 	lo, hi := metrics.MinMax(all)
 
-	summarize := func(samples [5][]sample) [5]Table6Cell {
+	summarize := func(samples [5][]t6sample) [5]Table6Cell {
 		var cells [5]Table6Cell
 		for k := 0; k < 5; k++ {
 			var rmsdSum, delaySum float64
@@ -176,7 +236,7 @@ func Table6(opt Options) Table6Result {
 	}
 	out.LQRO = summarize(lqro)
 	out.DeLorean = summarize(dl)
-	return out
+	return out, nil
 }
 
 // Table7Row is one real-RV row of Table 7.
@@ -202,23 +262,66 @@ type Table7Result struct {
 }
 
 // Table7 runs the §6.4 real-RV experiment on the four profiles standing
-// in for the paper's physical vehicles.
-func Table7(opt Options) Table7Result {
+// in for the paper's physical vehicles. All profiles' scenarios go into
+// one sweep; the reduce walks them back in submission order.
+func Table7(ctx context.Context, opt Options) (Table7Result, error) {
 	opt = opt.withDefaults()
 	out := Table7Result{Missions: opt.Missions}
+	fpMissions := opt.Missions / 2
+	if fpMissions < 4 {
+		fpMissions = 4
+	}
+
+	var jobs []runner.Job
+	// wantTargets[j] holds, for attacked job j, the mounted target set
+	// for exact-identification scoring (empty for FP-probe jobs).
+	var wantTargets []sensors.TypeSet
 	for _, name := range vehicle.RealRVs() {
 		p := vehicle.MustProfile(name)
-		row := Table7Row{Profile: name}
+		delta, err := DeltaFor(ctx, p, opt)
+		if err != nil {
+			return out, err
+		}
 		rng := rand.New(rand.NewSource(opt.Seed))
+		for k := 1; k <= 5; k++ {
+			for i := 0; i < opt.Missions; i++ {
+				sc := drawScenario(p, rng, opt.Wind)
+				atk := sc.buildAttack(rng, k)
+				cfg := sc.simConfig(p, core.StrategyDeLorean, delta, 15)
+				cfg.Attacks = atk
+				jobs = append(jobs, runner.Job{
+					Label: fmt.Sprintf("table7/%s/k=%d/mission=%d/seed=%d", name, k, i, sc.seed),
+					Cfg:   cfg,
+				})
+				wantTargets = append(wantTargets, atk.Attacks[0].Targets)
+			}
+		}
+		// FP probe: attack-free windy missions; any recovery activation is
+		// a diagnosis FP.
+		for i := 0; i < fpMissions; i++ {
+			sc := drawScenario(p, rng, opt.Wind)
+			jobs = append(jobs, runner.Job{
+				Label: fmt.Sprintf("table7/%s/fp/mission=%d/seed=%d", name, i, sc.seed),
+				Cfg:   sc.simConfig(p, core.StrategyDeLorean, delta, 15),
+			})
+			wantTargets = append(wantTargets, sensors.NewTypeSet())
+		}
+	}
+
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return out, err
+	}
+
+	j := 0
+	for _, name := range vehicle.RealRVs() {
+		row := Table7Row{Profile: name}
 		for k := 1; k <= 5; k++ {
 			var tp, ms int
 			for i := 0; i < opt.Missions; i++ {
-				sc := drawScenario(p, rng, opt.Wind)
-				targets := sc.buildAttack(rng, k)
-				cfg := sc.simConfig(p, core.StrategyDeLorean, DeltaFor(p), 15)
-				cfg.Attacks = targets
-				res := mustRun(cfg)
-				want := targets.Attacks[0].Targets
+				res := results[j]
+				want := wantTargets[j]
+				j++
 				if res.DiagnosisRanDuringAttack && res.DiagnosedDuringAttack.Equal(want) {
 					tp++
 				}
@@ -236,22 +339,15 @@ func Table7(opt Options) Table7Result {
 			row.AvgTP += row.TPByCount[k] / 5
 			row.AvgMS += row.MSByCount[k] / 5
 		}
-		// FP probe: attack-free windy missions; any recovery activation is
-		// a diagnosis FP.
 		var fp int
-		fpMissions := opt.Missions / 2
-		if fpMissions < 4 {
-			fpMissions = 4
-		}
 		for i := 0; i < fpMissions; i++ {
-			sc := drawScenario(p, rng, opt.Wind)
-			res := mustRun(sc.simConfig(p, core.StrategyDeLorean, DeltaFor(p), 15))
-			if res.RecoveryActivations > 0 {
+			if results[j].RecoveryActivations > 0 {
 				fp++
 			}
+			j++
 		}
 		row.FP = metrics.Rate(fp, fpMissions)
 		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/vehicle"
+)
+
+// runTable3 renders the Table 3 / Fig. 8a block: per-RV δ calibration with
+// the Fig. 8a CDF, Fig. 8b-style window sizing, and the §6.6 overheads for
+// the real-RV profiles. The calibration/window/overhead sub-runs keep
+// their own mission clamps (the paper flies 15–25 calibration missions
+// regardless of the evaluation scale) but inherit the execution knobs.
+func runTable3(ctx context.Context, w io.Writer, opt Options) error {
+	tw := &tableWriter{w: w}
+	tw.println("## Table 3 / Fig. 8a — δ calibration, window sizing, overheads")
+	tw.println()
+	if tw.err != nil {
+		return tw.err
+	}
+	calOpt := opt
+	calOpt.Missions = clampMissions(opt.Missions, 8, 25)
+	calOpt.Wind = 4.5
+	var overheads []OverheadResult
+	for _, name := range vehicle.AllRVs() {
+		p := vehicle.MustProfile(name)
+		cal, err := Calibrate(ctx, p, calOpt)
+		if err != nil {
+			return err
+		}
+		if err := WriteCalibration(w, cal); err != nil {
+			return err
+		}
+		swOpt := opt
+		swOpt.Missions = clampMissions(opt.Missions, 6, 15)
+		sw, err := StealthyWindow(ctx, p, swOpt)
+		if err != nil {
+			return err
+		}
+		if err := WriteStealthyWindow(w, sw); err != nil {
+			return err
+		}
+		if isReal(name) {
+			ovOpt := opt
+			ovOpt.Missions = clampMissions(opt.Missions, 4, 10)
+			ov, err := Overheads(ctx, p, cal.Delta, sw.WindowSec, ovOpt)
+			if err != nil {
+				return err
+			}
+			overheads = append(overheads, ov)
+		}
+	}
+	tw.println()
+	tw.println("Overheads (real-RV profiles, §6.6):")
+	tw.println()
+	if tw.err != nil {
+		return tw.err
+	}
+	return WriteOverheads(w, overheads)
+}
+
+// runFig8b renders the stealthy-attack detection-delay block for the two
+// profiles the paper plots in Fig. 8b.
+func runFig8b(ctx context.Context, w io.Writer, opt Options) error {
+	tw := &tableWriter{w: w}
+	tw.println("### Fig. 8b — stealthy-attack detection delay CDF")
+	tw.println()
+	if tw.err != nil {
+		return tw.err
+	}
+	for _, name := range []vehicle.ProfileName{vehicle.Tarot, vehicle.AionR1} {
+		sw, err := StealthyWindow(ctx, vehicle.MustProfile(name), opt)
+		if err != nil {
+			return err
+		}
+		if err := WriteStealthyWindow(w, sw); err != nil {
+			return err
+		}
+	}
+	tw.println()
+	return tw.err
+}
+
+func clampMissions(n, lo, hi int) int {
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+func isReal(name vehicle.ProfileName) bool {
+	for _, r := range vehicle.RealRVs() {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/mission"
+	"repro/internal/runner"
 	"repro/internal/sensors"
 	"repro/internal/sim"
 	"repro/internal/vehicle"
@@ -33,8 +36,9 @@ type TraceResult struct {
 
 // fig2Scenario is the §3.2 motivating scenario: a Pixhawk drone on a
 // straight mission at 10 m altitude; SDAs on GPS+accelerometer during
-// takeoff and during landing.
-func fig2Scenario(strategy core.Strategy, opt Options) TraceResult {
+// takeoff and during landing. The attacked run and its attack-free ground
+// truth are submitted as one job pair.
+func fig2Scenario(ctx context.Context, strategy core.Strategy, opt Options) (TraceResult, error) {
 	opt = opt.withDefaults()
 	p := vehicle.MustProfile(vehicle.Pixhawk)
 	plan := mission.NewStraight(70*p.CruiseSpeed/5, 10)
@@ -59,12 +63,18 @@ func fig2Scenario(strategy core.Strategy, opt Options) TraceResult {
 		MaxSec:     300,
 		TraceEvery: 25,
 	}
-	res := mustRun(cfg)
-
 	gtCfg := cfg
 	gtCfg.Attacks = nil
 	gtCfg.TraceEvery = 0
-	gt := mustRun(gtCfg)
+
+	results, err := sweep(ctx, []runner.Job{
+		{Label: fmt.Sprintf("fig2/%s/attacked", strategy), Cfg: cfg},
+		{Label: fmt.Sprintf("fig2/%s/gt", strategy), Cfg: gtCfg},
+	}, opt)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	res, gt := results[0], results[1]
 
 	out := TraceResult{
 		Label:        strategy.String(),
@@ -82,19 +92,19 @@ func fig2Scenario(strategy core.Strategy, opt Options) TraceResult {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig2 reproduces the motivating LQR-O worst-case recovery trace (§3.2):
 // overly aggressive takeoff recovery and overly conservative landing.
-func Fig2(opt Options) TraceResult {
-	return fig2Scenario(core.StrategyLQRO, opt)
+func Fig2(ctx context.Context, opt Options) (TraceResult, error) {
+	return fig2Scenario(ctx, core.StrategyLQRO, opt)
 }
 
 // Fig9 reproduces DeLorean's targeted recovery on the same scenario
 // (§6.4): minimal deviation and an on-target landing.
-func Fig9(opt Options) TraceResult {
-	return fig2Scenario(core.StrategyDeLorean, opt)
+func Fig9(ctx context.Context, opt Options) (TraceResult, error) {
+	return fig2Scenario(ctx, core.StrategyDeLorean, opt)
 }
 
 // Fig10Result is one stealthy-attack episode of §6.5.
@@ -118,15 +128,18 @@ type Fig10Result struct {
 
 // Fig10 runs the three adaptive stealthy attacks of §6.5 on ArduCopter:
 // A1 random bias (all sensors), A2 gradually increasing bias, A3
-// intermittent bias.
-func Fig10(opt Options) []Fig10Result {
+// intermittent bias. Each episode submits an (attacked, ground-truth)
+// job pair; A1's SDA redraws its bias per tick at runtime, so every
+// episode gets its own rng derived from the master stream — jobs stay
+// independent under parallel execution.
+func Fig10(ctx context.Context, opt Options) ([]Fig10Result, error) {
 	opt = opt.withDefaults()
 	p := vehicle.MustProfile(vehicle.ArduCopter)
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	type episode struct {
 		name  string
-		mount func(start, end float64) *attack.SDA
+		mount func(rng *rand.Rand, start, end float64) *attack.SDA
 	}
 	// Sub-threshold bias magnitudes: individually below the instantaneous
 	// detector thresholds, caught only by CUSUM accumulation.
@@ -147,22 +160,26 @@ func Fig10(opt Options) []Fig10Result {
 		Baro:   2.2,
 	}
 	episodes := []episode{
-		{name: "A1-random", mount: func(s, e float64) *attack.SDA {
+		{name: "A1-random", mount: func(rng *rand.Rand, s, e float64) *attack.SDA {
 			return attack.NewWithBias(rng, stealthBias, s, e, attack.RandomBias)
 		}},
-		{name: "A2-gradual", mount: func(s, e float64) *attack.SDA {
+		{name: "A2-gradual", mount: func(rng *rand.Rand, s, e float64) *attack.SDA {
 			return attack.NewWithBias(rng, sensors.Bias{GPSPos: [3]float64{5.5, 0, 0}}, s, e, attack.Gradual)
 		}},
-		{name: "A3-intermittent", mount: func(s, e float64) *attack.SDA {
+		{name: "A3-intermittent", mount: func(rng *rand.Rand, s, e float64) *attack.SDA {
 			a := attack.NewWithBias(rng, sensors.Bias{GPSPos: [3]float64{3.6, 0, 0}}, s, e, attack.Intermittent)
 			a.OnDur, a.OffDur = 1.5, 1.5
 			return a
 		}},
 	}
 
-	var out []Fig10Result
+	const start, dur = 10.0, 25.0
+	var jobs []runner.Job
 	for _, ep := range episodes {
-		const start, dur = 10.0, 25.0
+		// Derived per-episode rng: the master stream advances by exactly
+		// one Int63 per episode regardless of how many draws the SDA
+		// consumes at runtime (A1 redraws every tick).
+		epRng := rand.New(rand.NewSource(rng.Int63()))
 		plan := mission.NewStraight(100, 20)
 		cfg := sim.Config{
 			Profile:    p,
@@ -170,18 +187,27 @@ func Fig10(opt Options) []Fig10Result {
 			Strategy:   core.StrategyDeLorean,
 			Delta:      core.DefaultDelta(p),
 			WindowSec:  30, // sized per the Fig. 8b stealthy probe
-			Attacks:    attack.NewSchedule(ep.mount(start, start+dur)),
+			Attacks:    attack.NewSchedule(ep.mount(epRng, start, start+dur)),
 			Seed:       opt.Seed,
 			MaxSec:     300,
 			TraceEvery: 5,
 		}
-		res := mustRun(cfg)
-
 		gtCfg := cfg
 		gtCfg.Attacks = nil
 		gtCfg.TraceEvery = 5
-		gt := mustRun(gtCfg)
+		jobs = append(jobs,
+			runner.Job{Label: fmt.Sprintf("fig10/%s/attacked", ep.name), Cfg: cfg},
+			runner.Job{Label: fmt.Sprintf("fig10/%s/gt", ep.name), Cfg: gtCfg})
+	}
 
+	results, err := sweep(ctx, jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig10Result
+	for i, ep := range episodes {
+		res, gt := results[2*i], results[2*i+1]
 		r := Fig10Result{Attack: ep.name, Success: res.Success, Crashed: res.Crashed, DetectionDelay: dur, FinalMiss: res.FinalDistance}
 		var detectedAt float64 = -1
 		for _, tp := range res.Trace {
@@ -192,7 +218,7 @@ func Fig10(opt Options) []Fig10Result {
 		}
 		if detectedAt >= 0 {
 			r.DetectionDelay = detectedAt - start
-			r.DetectedWithinWindow = r.DetectionDelay <= cfg.WindowSec
+			r.DetectedWithinWindow = r.DetectionDelay <= 30
 		}
 		// HS corruption: peak truth-vs-ground-truth deviation while the
 		// attack ran undetected.
@@ -212,5 +238,5 @@ func Fig10(opt Options) []Fig10Result {
 		}
 		out = append(out, r)
 	}
-	return out
+	return out, nil
 }

@@ -36,6 +36,7 @@ func DefaultAnalyzers() []*Analyzer {
 				modulePath + "/internal/experiments",
 				modulePath + "/internal/mission",
 				modulePath + "/internal/core",
+				modulePath + "/internal/runner",
 			},
 			ClockPath: clockPath,
 		}),

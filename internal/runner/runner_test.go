@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// tinyJobs builds n short real missions with distinct derived seeds.
+func tinyJobs(n int) []Job {
+	p := vehicle.MustProfile(vehicle.ArduCopter)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Label: fmt.Sprintf("tiny/%d", i),
+			Cfg: sim.Config{
+				Profile:   p,
+				Plan:      mission.NewStraight(5, 10),
+				Strategy:  core.StrategyDeLorean,
+				Delta:     core.DefaultDelta(p),
+				WindowSec: 5,
+				Seed:      int64(100 + i),
+				MaxSec:    2,
+			},
+		}
+	}
+	return jobs
+}
+
+// resultKey projects the fields the experiments reduce over; two runs of
+// the same job must agree on all of them.
+func resultKey(r sim.Result) string {
+	return fmt.Sprintf("%v|%v|%d|%d|%d|%v|%d",
+		r.FinalDistance, r.Duration, r.Ticks, r.DefenseNS, r.TotalNS, r.EnergyProxy, len(r.AttitudeSeries))
+}
+
+func TestRunPreservesSubmissionOrder(t *testing.T) {
+	jobs := tinyJobs(6)
+	serial, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result lengths = %d, %d, want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i := range jobs {
+		if resultKey(serial[i]) != resultKey(parallel[i]) {
+			t.Errorf("job %d: parallel result diverged from serial:\n  serial   %s\n  parallel %s",
+				i, resultKey(serial[i]), resultKey(parallel[i]))
+		}
+	}
+	// The seeds differ, so distinct jobs must not alias each other's slot.
+	if resultKey(serial[0]) == resultKey(serial[1]) {
+		t.Error("distinct seeds produced identical results — jobs may be aliased")
+	}
+}
+
+// panicDetector panics on the first Update call, simulating a worker
+// crash deep inside a mission.
+type panicDetector struct{}
+
+func (panicDetector) Update(_, _ sensors.PhysState) bool { panic("detector exploded") }
+func (panicDetector) Alert() bool                        { return false }
+func (panicDetector) Reset()                             {}
+
+func TestRunConvertsWorkerPanicToLabeledError(t *testing.T) {
+	jobs := tinyJobs(4)
+	jobs[2].Label = "tiny/poisoned"
+	jobs[2].Cfg.Detector = panicDetector{}
+	_, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("panicking job did not surface an error")
+	}
+	for _, want := range []string{"job 2", "tiny/poisoned", "panic", "detector exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Do(context.Background(), 10, Options{Workers: 4}, func(_ context.Context, i int) error {
+		if i >= 2 {
+			return fmt.Errorf("i=%d: %w", i, sentinel)
+		}
+		return nil
+	})
+	var de *doError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *doError", err)
+	}
+	if de.index != 2 {
+		t.Errorf("error index = %d, want 2 (lowest failure regardless of scheduling)", de.index)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("doError does not unwrap to the original error")
+	}
+}
+
+func TestDoCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	const n = 50
+	err := Do(ctx, n, Options{Workers: 2}, func(ctx context.Context, i int) error {
+		executed.Add(1)
+		if i == 0 {
+			cancel()
+			return nil
+		}
+		// Later jobs block until the cancellation propagates, pinning the
+		// workers so the dispatcher must observe ctx.Done.
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got >= n {
+		t.Errorf("all %d jobs executed despite mid-sweep cancellation", got)
+	}
+}
+
+func TestRunCancelledContextInterruptsMissions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, tinyJobs(3), Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoProgressMonotonicAndComplete(t *testing.T) {
+	var calls [][2]int
+	opt := Options{Workers: 3, Progress: func(completed, total int) {
+		calls = append(calls, [2]int{completed, total}) // serialized by the runner
+	}}
+	if err := Do(context.Background(), 7, opt, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 7 {
+		t.Fatalf("progress calls = %d, want 7", len(calls))
+	}
+	for i, c := range calls {
+		if c[0] != i+1 || c[1] != 7 {
+			t.Errorf("call %d = %v, want {%d 7}", i, c, i+1)
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if err := Do(context.Background(), 0, Options{}, func(context.Context, int) error {
+		t.Error("fn called for empty sweep")
+		return nil
+	}); err != nil {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWorkersDefaultsAndCaps(t *testing.T) {
+	if got := (Options{}).workers(4); got < 1 || got > 4 {
+		t.Errorf("default workers = %d, want within [1, 4]", got)
+	}
+	if got := (Options{Workers: 8}).workers(3); got != 3 {
+		t.Errorf("workers capped = %d, want 3", got)
+	}
+	if got := (Options{Workers: 2}).workers(100); got != 2 {
+		t.Errorf("workers = %d, want 2", got)
+	}
+}

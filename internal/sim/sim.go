@@ -5,12 +5,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/diagnosis"
@@ -111,8 +111,11 @@ type Result struct {
 	// EnergyProxy integrates |thrust|·dt (the motor-effort battery
 	// proxy).
 	EnergyProxy float64
-	// DefenseNS and Ticks support the CPU-overhead accounting; TotalNS is
-	// the wall time of the whole control+physics loop.
+	// DefenseNS and TotalNS support the CPU-overhead accounting: modeled
+	// nanoseconds of the defense modules and of the whole control loop on
+	// the reference flight controller (see core's cost model). Modeled —
+	// not wall-clock — time keeps mission results byte-identical across
+	// runs and worker counts.
 	DefenseNS int64
 	TotalNS   int64
 	Ticks     int
@@ -127,8 +130,22 @@ type Result struct {
 // standard 5 m GPS offset.
 const SuccessRadius = 10.0
 
+// cancelCheckTicks is how many control periods elapse between context
+// polls in RunContext (100 ticks = 1 simulated second at the default DT —
+// cheap enough to be invisible, frequent enough that cancellation lands
+// within milliseconds of real time).
+const cancelCheckTicks = 100
+
 // Run executes one mission and returns its outcome.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the mission loop polls
+// ctx every cancelCheckTicks control periods (about one simulated second)
+// and abandons the mission with ctx.Err() once the context is done. The
+// parallel runner (internal/runner) uses this to stop a sweep mid-flight.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.DT <= 0 {
 		cfg.DT = 0.01
 	}
@@ -164,8 +181,16 @@ func Run(cfg Config) (Result, error) {
 	dt := cfg.DT
 	tick := 0
 
+	done := ctx.Done()
 	dropoutArmed := cfg.DropoutAt > 0 && cfg.DropoutSensors.Len() > 0
 	for t := 0.0; t < cfg.MaxSec; t += dt {
+		if tick%cancelCheckTicks == 0 {
+			select {
+			case <-done:
+				return res, ctx.Err()
+			default:
+			}
+		}
 		if tracker.Done() {
 			res.Completed = true
 			break
@@ -188,9 +213,7 @@ func Run(cfg Config) (Result, error) {
 		accel := trueAccel(cfg.Profile, truth, lastU, w)
 		meas := suite.Sample(t, dt, truth, accel, bias)
 
-		tickStart := clock.Now()
 		u := fw.Tick(t, meas, tracker.Target())
-		res.TotalNS += clock.Since(tickStart).Nanoseconds()
 		lastU = u
 		if cfg.CollectErrors && tick%5 == 0 {
 			res.ErrorSamples = append(res.ErrorSamples, fw.LastError())
@@ -252,7 +275,7 @@ func Run(cfg Config) (Result, error) {
 	res.FinalDistance = truth.HorizontalDistanceTo(dest.X, dest.Y)
 	res.Success = res.Completed && !res.Crashed && res.FinalDistance < SuccessRadius
 	res.RecoveryActivations = fw.RecoveryActivations()
-	res.DefenseNS, res.Ticks = fw.DefenseOverheadNS()
+	res.DefenseNS, res.TotalNS, res.Ticks = fw.Overhead()
 	return res, nil
 }
 

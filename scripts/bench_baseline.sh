@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# bench_baseline.sh — record the parallel runner's end-to-end speedup.
+#
+# Runs `cmd/experiments -exp all` twice at a reduced mission count — once
+# with -workers 1 and once with -workers <NumCPU> — byte-compares the two
+# rendered outputs (they must be identical: the runner's determinism
+# contract), and writes the wall-clock numbers to BENCH_BASELINE.json.
+#
+# Usage: scripts/bench_baseline.sh [missions] [seed]
+set -eu
+cd "$(dirname "$0")/.."
+
+MISSIONS="${1:-4}"
+SEED="${2:-1}"
+NPROC="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
+case "$NPROC" in ''|*[!0-9]*) NPROC=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1) ;; esac
+
+OUT1="$(mktemp)"
+OUTN="$(mktemp)"
+trap 'rm -f "$OUT1" "$OUTN"' EXIT
+
+go build -o /tmp/experiments-bench ./cmd/experiments
+
+echo "== -exp all, workers=1, missions=$MISSIONS seed=$SEED =="
+T0=$(date +%s)
+/tmp/experiments-bench -exp all -missions "$MISSIONS" -seed "$SEED" -workers 1 -out "$OUT1"
+T1=$(date +%s)
+SERIAL=$((T1 - T0))
+
+echo "== -exp all, workers=$NPROC =="
+T0=$(date +%s)
+/tmp/experiments-bench -exp all -missions "$MISSIONS" -seed "$SEED" -workers "$NPROC" -out "$OUTN"
+T1=$(date +%s)
+PARALLEL=$((T1 - T0))
+
+if ! cmp -s "$OUT1" "$OUTN"; then
+    echo "FAIL: output differs between workers=1 and workers=$NPROC" >&2
+    diff "$OUT1" "$OUTN" | head -20 >&2 || true
+    exit 1
+fi
+echo "outputs byte-identical across worker counts"
+
+SPEEDUP=$(awk "BEGIN { if ($PARALLEL > 0) printf \"%.2f\", $SERIAL / $PARALLEL; else print \"inf\" }")
+cat > BENCH_BASELINE.json <<EOF
+{
+  "experiment": "all",
+  "missions": $MISSIONS,
+  "seed": $SEED,
+  "cpus": $NPROC,
+  "serial_seconds": $SERIAL,
+  "parallel_seconds": $PARALLEL,
+  "speedup": $SPEEDUP,
+  "outputs_identical": true
+}
+EOF
+echo "wrote BENCH_BASELINE.json: serial=${SERIAL}s parallel=${PARALLEL}s speedup=${SPEEDUP}x on $NPROC CPUs"

@@ -2,10 +2,13 @@
 # check.sh — the tier-2 verification gate: build, vet, project lint
 # (cmd/delint), the full test suite, and the race detector.
 #
-# The race pass runs with -short: the full experiment suite already takes
-# ~2 minutes natively and the race detector multiplies that by ~20×, so
-# the heavy mission sweeps (which honor testing.Short) are skipped there.
-# They still run race-free in the plain `go test` pass, and a full
+# The package-wide race pass runs with -short: the full experiment suite
+# already takes ~2 minutes natively and the race detector multiplies that
+# by ~20×, so the heavy mission sweeps (which honor testing.Short) are
+# skipped there. The parallel runner is the one place where races would
+# silently corrupt results, so it gets a dedicated un-short race pass:
+# every internal/runner test plus the workers=1-vs-8 byte-identical
+# determinism sweep in internal/experiments. A full
 # `go test -race -timeout 60m ./...` remains available for release
 # verification.
 set -eu
@@ -21,4 +24,7 @@ echo "== test =="
 go test ./...
 echo "== race (short) =="
 go test -race -short ./...
+echo "== race (runner + parallel determinism) =="
+go test -race -timeout 1800s ./internal/runner
+go test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight' ./internal/experiments
 echo "ok: all checks passed"
