@@ -25,7 +25,7 @@ race:
 # determinism sweep — the two places a data race could corrupt results.
 race-runner:
 	$(GO) test -race -timeout 1800s ./internal/runner
-	$(GO) test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight' ./internal/experiments
+	$(GO) test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight|TestReportDeterminism' ./internal/experiments
 
 check:
 	sh scripts/check.sh

@@ -4,11 +4,15 @@
 //
 // Missions fan out across a deterministic parallel worker pool
 // (internal/runner): -workers changes wall-clock time only, never the
-// rendered output.
+// rendered output. -report additionally writes the versioned
+// machine-readable run report (internal/telemetry): detection-latency
+// distributions, diagnosis precision/recall inputs, recovery RMSD,
+// per-stage cost-model totals, and one event trace per experiment —
+// byte-identical at any -workers setting.
 //
 // Usage:
 //
-//	experiments -exp all -missions 25 -seed 1 [-workers 0] [-out EXPERIMENTS.md]
+//	experiments -exp all -missions 25 -seed 1 [-workers 0] [-out EXPERIMENTS.md] [-report report.json]
 package main
 
 import (
@@ -16,12 +20,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,19 +38,39 @@ func main() {
 	windCap := flag.Float64("wind", 3, "mission wind cap in m/s")
 	workers := flag.Int("workers", 0, "parallel mission workers (0 = all CPUs); output is identical at any setting")
 	out := flag.String("out", "", "output file (default stdout)")
+	report := flag.String("report", "", "write the machine-readable run report (JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	progress := flag.Bool("progress", false, "report per-sweep mission completion on stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, *exp, *missions, *seed, *windCap, *workers, *out, *progress); err != nil {
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
+	if err := run(ctx, *exp, *missions, *seed, *windCap, *workers, *out, *report, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, exp string, missions int, seed int64, windCap float64, workers int, outPath string, progress bool) error {
+// servePprof exposes the standard pprof endpoints for profiling a run.
+// Diagnostics only — it never touches experiment output or the report.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+	}
+}
+
+func run(ctx context.Context, exp string, missions int, seed int64, windCap float64, workers int, outPath, reportPath string, progress bool) error {
 	var w io.Writer = os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -61,7 +88,27 @@ func run(ctx context.Context, exp string, missions int, seed int64, windCap floa
 			}
 		}
 	}
+	if reportPath != "" {
+		opt.Collector = telemetry.NewCollector()
+	}
 
+	runErr := runExperiments(ctx, exp, w, opt)
+	if runErr != nil {
+		return runErr
+	}
+	if reportPath == "" {
+		return nil
+	}
+	return writeReport(reportPath, opt.Collector, telemetry.Meta{
+		Generator: "cmd/experiments",
+		Missions:  missions,
+		Seed:      seed,
+		Wind:      windCap,
+	})
+}
+
+// runExperiments dispatches the selected experiment(s).
+func runExperiments(ctx context.Context, exp string, w io.Writer, opt experiments.Options) error {
 	if exp != "all" {
 		e, ok := experiments.Get(exp)
 		if !ok {
@@ -75,6 +122,23 @@ func run(ctx context.Context, exp string, missions int, seed int64, windCap floa
 		}
 	}
 	return nil
+}
+
+// writeReport assembles and writes the versioned run report.
+func writeReport(path string, col *telemetry.Collector, meta telemetry.Meta) error {
+	rep, err := col.Report(meta)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // timed runs one experiment with a stderr progress line. The timing lines

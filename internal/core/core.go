@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/checkpoint"
 	"repro/internal/control"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/reconstruct"
 	"repro/internal/recovery"
 	"repro/internal/sensors"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
 )
 
@@ -104,6 +106,9 @@ type Config struct {
 	// MaxRecoverySec caps a recovery episode (backstop exit). Defaults to
 	// 40 s.
 	MaxRecoverySec float64
+	// Telemetry receives the mission's pipeline events and counters. Nil
+	// disables event recording (a nil Recorder is a valid no-op sink).
+	Telemetry *telemetry.Recorder
 }
 
 // Mode is the framework's control mode.
@@ -151,12 +156,12 @@ type Framework struct {
 	havePrev        bool
 
 	// Telemetry.
+	tel                 *telemetry.Recorder
 	lastDiagnosis       sensors.TypeSet
 	diagnosisRan        bool
 	recoveryActivations int
 	lastErr             sensors.PhysState
-	defenseNS           int64 // modeled defense cost (see costmodel.go)
-	baseNS              int64 // modeled non-defense loop cost
+	stages              telemetry.StageNS // modeled per-stage cost (see costmodel.go)
 	ticks               int
 }
 
@@ -177,6 +182,7 @@ func New(cfg Config, strategy Strategy) (*Framework, error) {
 	f := &Framework{
 		cfg:         cfg,
 		strategy:    strategy,
+		tel:         cfg.Telemetry,
 		autopilot:   control.ForProfile(cfg.Profile),
 		filter:      ekf.New(cfg.Profile),
 		recorder:    checkpoint.NewRecorder(cfg.WindowSec),
@@ -417,6 +423,18 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 	}
 	f.diagnoser.Observe(diagRef, meas)
 
+	// Telemetry: alert edges and latched-alert ticks, recorded for every
+	// strategy including the undefended baseline (detection latency is a
+	// detector property, not a recovery property).
+	if alert && !f.alertPrev {
+		f.tel.AlertRaised(f.ticks, f.triggerDetail())
+	} else if !alert && f.alertPrev && f.mode == ModeNormal {
+		f.tel.AlertCleared(f.ticks)
+	}
+	if alert && f.mode == ModeNormal {
+		f.tel.AlertTick()
+	}
+
 	if f.strategy == StrategyNone {
 		f.alertPrev = alert
 		return vehicle.Input{}, false
@@ -440,6 +458,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 	// sample, up to 100 ms after the inertial channels).
 	if f.mode == ModeRecovery && f.strategy == StrategyDeLorean && t < f.diagUnionUntil {
 		f.chargeDiagnosis()
+		f.tel.QuietDiagnosisPass()
 		extra := f.diagnoser.Diagnose()
 		grew := false
 		for _, typ := range extra.List() {
@@ -450,10 +469,12 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 		}
 		if grew {
 			f.lastDiagnosis = f.compromised.Clone()
+			f.tel.Event(f.ticks, telemetry.KindDiagnosis, "widened isolated="+f.compromised.String())
 			if rec, ok := f.recorder.LatestTrusted(); ok && t-rec.T <= 2*f.cfg.WindowSec+5 {
 				f.chargeReconstruction()
-				if _, hybrid, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
+				if _, hybrid, stats, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
 					f.filter.SetState(hybrid)
+					f.tel.Reconstruction(f.ticks, stats.Records)
 				}
 			}
 		}
@@ -469,6 +490,7 @@ func (f *Framework) defenseTick(t float64, meas sensors.PhysState, target missio
 		return vehicle.Input{}, false
 	}
 	f.chargeRecoveryTick()
+	f.tel.RecoveryTick()
 
 	// Per-sensor re-validation: an isolated sensor whose channels have
 	// agreed with the internal estimate for a sustained period is
@@ -536,6 +558,7 @@ func (f *Framework) runDiagnosisAndMaybeRecover(t float64, meas sensors.PhysStat
 	diagnosed := f.diagnoser.Diagnose()
 	f.lastDiagnosis = diagnosed.Clone()
 	f.diagnosisRan = true
+	f.tel.DiagnosisPass(f.ticks, diagnosed.Len() == 0, f.diagnosisDetail(diagnosed))
 	if diagnosed.Len() == 0 {
 		return // masked false positive: no recovery activation
 	}
@@ -572,15 +595,17 @@ func (f *Framework) runDiagnosisAndMaybeRecover(t float64, meas sensors.PhysStat
 	case StrategyDeLorean:
 		if anchorFresh {
 			f.chargeReconstruction()
-			if _, hybrid, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
+			if _, hybrid, stats, err := f.reconstructor.Reconstruct(f.recorder, meas, f.compromised); err == nil {
 				f.filter.SetState(hybrid)
+				f.tel.Reconstruction(f.ticks, stats.Records)
 			}
 		}
 	case StrategyLQRO:
 		if anchorFresh {
 			f.chargeReconstruction()
-			if rolled, err := f.reconstructor.RollForward(f.recorder, f.compromised); err == nil {
+			if rolled, stats, err := f.reconstructor.RollForward(f.recorder, f.compromised); err == nil {
 				f.filter.SetState(rolled)
+				f.tel.Reconstruction(f.ticks, stats.Records)
 			}
 		}
 	case StrategySSR:
@@ -599,6 +624,63 @@ func (f *Framework) runDiagnosisAndMaybeRecover(t float64, meas sensors.PhysStat
 	f.quietSince = t
 	f.residQuietSince = 0
 	f.sensorQuiet = nil
+	f.tel.RecoveryEngaged(f.ticks, f.recoveryDetail())
+}
+
+// triggerDetail renders the detector's alert attribution when the
+// detector exposes one (the residual+CUSUM detector does).
+func (f *Framework) triggerDetail() string {
+	type triggered interface{ Trigger() detect.Trigger }
+	if d, ok := f.detector.(triggered); ok {
+		return d.Trigger().String()
+	}
+	return ""
+}
+
+// diagnosisDetail renders a diagnosis verdict for the event trace: the
+// per-sensor marginals when the diagnoser exposes them (the FG diagnoser
+// does), else just the implicated set.
+func (f *Framework) diagnosisDetail(diagnosed sensors.TypeSet) string {
+	type verdicts interface {
+		Verdicts() []diagnosis.SensorVerdict
+	}
+	d, ok := f.diagnoser.(verdicts)
+	if !ok {
+		return diagnosed.String()
+	}
+	var b strings.Builder
+	for i, v := range d.Verdicts() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:p=%.3f", v.Sensor, v.MaxMarginal)
+		if v.Malicious {
+			b.WriteString("(malicious)")
+		}
+	}
+	return b.String()
+}
+
+// recoveryDetail names the strategy, the controller that will fly the
+// episode, and the isolated sensors, for the recovery-engaged event.
+func (f *Framework) recoveryDetail() string {
+	var controller string
+	switch f.strategy {
+	case StrategyNone:
+		controller = "none" // unreachable: the baseline never engages
+	case StrategyDeLorean:
+		controller = "autopilot"
+		if f.compromised.Has(sensors.GPS) {
+			controller = "lqr"
+		}
+	case StrategyLQRO:
+		controller = "lqr"
+	case StrategySSR:
+		controller = "virtual-sensors"
+	case StrategyPIDPiper:
+		controller = "ffc"
+	}
+	return f.strategy.String() + "/" + controller + " isolated=" + f.compromised.String()
 }
 
 // revalidateSensors re-admits isolated sensors whose channels have all
@@ -629,6 +711,7 @@ func (f *Framework) revalidateSensors(t float64, meas sensors.PhysState) {
 			delete(f.compromised, typ)
 			f.sensorQuiet[typ] = 0
 			f.lastDiagnosis = f.compromised.Clone()
+			f.tel.SensorReadmitted(f.ticks, typ.String())
 		}
 	}
 }
@@ -740,6 +823,7 @@ func (f *Framework) exitRecovery(t float64, meas sensors.PhysState) {
 	f.detector.Reset()
 	f.diagnoser.Reset()
 	f.graceUntil = t + 3.0
+	f.tel.RecoveryExited(f.ticks, "was-isolated="+wasCompromised.String())
 
 	// Snap the previously isolated channels back onto the live sensors —
 	// but only channels whose measurement is now plausibly consistent with

@@ -19,6 +19,8 @@
 // the output is deterministic for a given seed at any worker count.
 package core
 
+import "repro/internal/telemetry"
+
 const (
 	// costBaseLoopNS is the non-defense control-loop floor per tick:
 	// sensor-driver I/O, scheduling, telemetry, and logging on the
@@ -59,33 +61,44 @@ const (
 // the always-on defense front end (shadow, detector, diagnosis
 // observation, checkpointing).
 func (f *Framework) chargeTick() {
-	f.baseNS += costBaseLoopNS + costFusionNS + costControlNS
-	f.defenseNS += costShadowNS + costDetectNS + costObserveNS + costCheckpointNS
+	f.stages.BaseLoop += costBaseLoopNS
+	f.stages.Fusion += costFusionNS
+	f.stages.Control += costControlNS
+	f.stages.Shadow += costShadowNS
+	f.stages.Detect += costDetectNS
+	f.stages.Observe += costObserveNS
+	f.stages.Checkpoint += costCheckpointNS
 }
 
 // chargeDiagnosis accrues one diagnosis inference pass.
 func (f *Framework) chargeDiagnosis() {
-	f.defenseNS += costDiagnoseNS
+	f.stages.Diagnose += costDiagnoseNS
 }
 
 // chargeReconstruction accrues a checkpoint replay over the recorded
-// window (WindowSec at the control rate).
+// window (WindowSec at the control rate). The charge is a fixed function
+// of the window — not of the replay's actual record count — so the
+// modeled overhead stays independent of when within the window the alert
+// fired; telemetry reports the actual counts separately.
 func (f *Framework) chargeReconstruction() {
 	records := int64(f.cfg.WindowSec / f.cfg.DT)
 	if records < 1 {
 		records = 1
 	}
-	f.defenseNS += records * costReconstructPerRecordNS
+	f.stages.Reconstruct += records * costReconstructPerRecordNS
 }
 
 // chargeRecoveryTick accrues the recovery-mode monitoring overhead.
 func (f *Framework) chargeRecoveryTick() {
-	f.defenseNS += costRecoveryMonitorNS
+	f.stages.RecoveryMonitor += costRecoveryMonitorNS
 }
 
 // Overhead returns the modeled defense-module cost, the modeled total
 // control-loop cost (base + defense), and the tick count, for the Table 3
 // CPU-overhead row. Values are deterministic for a given mission seed.
 func (f *Framework) Overhead() (defenseNS, totalNS int64, ticks int) {
-	return f.defenseNS, f.baseNS + f.defenseNS, f.ticks
+	return f.stages.DefenseNS(), f.stages.TotalNS(), f.ticks
 }
+
+// Stages returns the per-stage breakdown of the modeled cost.
+func (f *Framework) Stages() telemetry.StageNS { return f.stages }

@@ -28,6 +28,47 @@ type Detector interface {
 // monitoring of that state.
 type Thresholds [sensors.NumStates]float64
 
+// Mechanism identifies which of the detector's two tests latched an
+// alert.
+type Mechanism int
+
+// The residual detector's alert mechanisms.
+const (
+	// TriggerInstant is the instantaneous residual threshold test.
+	TriggerInstant Mechanism = iota + 1
+	// TriggerCUSUM is the accumulated-sum test that catches stealthy
+	// sub-threshold attacks.
+	TriggerCUSUM
+)
+
+// String names the mechanism as rendered in telemetry traces.
+func (m Mechanism) String() string {
+	switch m {
+	case TriggerInstant:
+		return "inst"
+	case TriggerCUSUM:
+		return "cusum"
+	default:
+		return "unknown"
+	}
+}
+
+// Trigger attributes a latched alert to the channel and mechanism that
+// fired it first (lowest channel index on the latch tick, instantaneous
+// before CUSUM — deterministic for a given trace).
+type Trigger struct {
+	Channel   sensors.StateIndex
+	Mechanism Mechanism
+}
+
+// String renders the attribution, e.g. "cusum:x".
+func (t Trigger) String() string {
+	if t.Mechanism == 0 {
+		return ""
+	}
+	return t.Mechanism.String() + ":" + t.Channel.String()
+}
+
 // Residual is the PID-Piper-style detector: instantaneous residual
 // thresholding on the monitored states plus a per-state CUSUM for stealthy
 // attacks. An alert latches while either test fires and clears after
@@ -45,9 +86,10 @@ type Residual struct {
 	// than a flickering one.
 	HoldTicks int
 
-	sums  [sensors.NumStates]float64
-	alert bool
-	quiet int
+	sums    [sensors.NumStates]float64
+	alert   bool
+	quiet   int
+	trigger Trigger
 }
 
 var _ Detector = (*Residual)(nil)
@@ -70,6 +112,7 @@ func NewResidual(thresh Thresholds) *Residual {
 func (d *Residual) Update(predicted, observed sensors.PhysState) bool {
 	diff := predicted.AbsDiff(observed)
 	fired := false
+	var trig Trigger
 	for i := range diff {
 		th := d.Thresh[i]
 		if th <= 0 {
@@ -77,6 +120,9 @@ func (d *Residual) Update(predicted, observed sensors.PhysState) bool {
 		}
 		r := diff[i]
 		if r > th {
+			if !fired {
+				trig = Trigger{Channel: sensors.StateIndex(i), Mechanism: TriggerInstant}
+			}
 			fired = true
 		}
 		// CUSUM accumulation for sub-threshold persistent bias.
@@ -85,10 +131,18 @@ func (d *Residual) Update(predicted, observed sensors.PhysState) bool {
 			d.sums[i] = 0
 		}
 		if limit := d.CUSUMLimit[i]; limit > 0 && d.sums[i] > limit {
+			if !fired {
+				trig = Trigger{Channel: sensors.StateIndex(i), Mechanism: TriggerCUSUM}
+			}
 			fired = true
 		}
 	}
 	if fired {
+		if !d.alert {
+			// Latch attribution: the channel/mechanism that raised this
+			// alert episode.
+			d.trigger = trig
+		}
 		d.alert = true
 		d.quiet = 0
 	} else if d.alert {
@@ -121,11 +175,17 @@ func (d *Residual) Suspicious() bool {
 	return false
 }
 
+// Trigger returns the attribution of the most recently latched alert —
+// which channel and which mechanism (instantaneous vs CUSUM) raised it.
+// The zero Trigger means no alert has latched since Reset.
+func (d *Residual) Trigger() Trigger { return d.trigger }
+
 // Reset clears all detector state.
 func (d *Residual) Reset() {
 	d.sums = [sensors.NumStates]float64{}
 	d.alert = false
 	d.quiet = 0
+	d.trigger = Trigger{}
 }
 
 // Residuals returns the current CUSUM accumulator values (for tests and

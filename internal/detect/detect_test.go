@@ -161,3 +161,66 @@ func TestSuspiciousEarlyWarning(t *testing.T) {
 		t.Error("suspicion should precede the CUSUM alert")
 	}
 }
+
+func TestTriggerAttributionInstant(t *testing.T) {
+	d := NewResidual(mkThresh())
+	var pred, obs sensors.PhysState
+	obs[sensors.SX] = 5 // residual 5 > 2: instantaneous trip
+	d.Update(pred, obs)
+	trig := d.Trigger()
+	if trig.Mechanism != TriggerInstant || trig.Channel != sensors.SX {
+		t.Errorf("trigger = %+v, want inst on x", trig)
+	}
+	if got := trig.String(); got != "inst:x" {
+		t.Errorf("trigger string = %q, want \"inst:x\"", got)
+	}
+}
+
+func TestTriggerAttributionCUSUM(t *testing.T) {
+	d := NewResidual(mkThresh())
+	var pred, obs sensors.PhysState
+	obs[sensors.SX] = 1.7 // sub-threshold persistent bias
+	for i := 0; i < 300 && !d.Update(pred, obs); i++ {
+	}
+	if !d.Alert() {
+		t.Fatal("CUSUM never alerted")
+	}
+	trig := d.Trigger()
+	if trig.Mechanism != TriggerCUSUM || trig.Channel != sensors.SX {
+		t.Errorf("trigger = %+v, want cusum on x", trig)
+	}
+	if got := trig.String(); got != "cusum:x" {
+		t.Errorf("trigger string = %q, want \"cusum:x\"", got)
+	}
+}
+
+func TestTriggerLatchesFirstEpisodeCause(t *testing.T) {
+	d := NewResidual(mkThresh())
+	var pred, obs sensors.PhysState
+	obs[sensors.SX] = 5
+	d.Update(pred, obs)
+	// While the alert stays latched, later (different) trips must not
+	// overwrite the episode's attribution.
+	var obs2 sensors.PhysState
+	obs2[sensors.SX] = 1.7
+	for i := 0; i < 50; i++ {
+		d.Update(pred, obs2)
+	}
+	if trig := d.Trigger(); trig.Mechanism != TriggerInstant {
+		t.Errorf("attribution overwritten mid-episode: %+v", trig)
+	}
+}
+
+func TestTriggerZeroValueAndReset(t *testing.T) {
+	d := NewResidual(mkThresh())
+	if got := d.Trigger().String(); got != "" {
+		t.Errorf("zero trigger renders %q, want empty", got)
+	}
+	var pred, obs sensors.PhysState
+	obs[sensors.SX] = 5
+	d.Update(pred, obs)
+	d.Reset()
+	if trig := d.Trigger(); trig != (Trigger{}) {
+		t.Errorf("Reset left trigger %+v", trig)
+	}
+}

@@ -81,6 +81,18 @@ type DeLorean struct {
 	// errHist holds the most recent error vectors, newest last; length is
 	// capped at histLen.
 	errHist []sensors.PhysState
+	// lastVerdicts are the per-sensor outcomes of the most recent
+	// Diagnose call (telemetry evidence).
+	lastVerdicts []SensorVerdict
+}
+
+// SensorVerdict is one sensor's diagnosis outcome together with its
+// evidence strength — the maximum P(malicious|e) over the sensor's
+// monitored physical states.
+type SensorVerdict struct {
+	Sensor      sensors.Type
+	Malicious   bool
+	MaxMarginal float64
 }
 
 // histLen is the number of consecutive error observations retained: the
@@ -111,9 +123,11 @@ func (d *DeLorean) Observe(predicted, observed sensors.PhysState) {
 
 // Diagnose builds one factor graph per sensor type over that sensor's
 // physical states (Table 1) and flags the sensor if any state's MLE
-// outcome is Malicious (P(s=malicious|e) > 0.5, Eq. 4).
+// outcome is Malicious (P(s=malicious|e) > 0.5, Eq. 4). The per-sensor
+// verdicts with their marginals are retained for Verdicts.
 func (d *DeLorean) Diagnose() sensors.TypeSet {
 	flagged := sensors.NewTypeSet()
+	d.lastVerdicts = d.lastVerdicts[:0]
 	if len(d.errHist) < histLen {
 		return flagged
 	}
@@ -122,7 +136,6 @@ func (d *DeLorean) Diagnose() sensors.TypeSet {
 
 	for _, typ := range sensors.AllTypes() {
 		graph := fg.New()
-		vars := make(map[sensors.StateIndex]*fg.Variable)
 		for _, idx := range sensors.StatesOf(typ) {
 			if d.delta[idx] <= 0 {
 				continue // unmonitored channel on this RV
@@ -133,25 +146,40 @@ func (d *DeLorean) Diagnose() sensors.TypeSet {
 				fg.ThresholdFactor(ePrev[idx], eCur[idx], d.delta[idx]),
 				v,
 			)
-			vars[idx] = v
 		}
-		for _, v := range vars {
-			outcome, err := graph.MLE(v)
-			if err != nil {
-				continue
+		if len(graph.Variables()) == 0 {
+			continue // sensor entirely unmonitored on this RV
+		}
+		verdict := SensorVerdict{Sensor: typ}
+		for _, p := range graph.Marginals() {
+			if p > verdict.MaxMarginal {
+				verdict.MaxMarginal = p
 			}
-			if outcome == fg.Malicious {
-				flagged.Add(typ)
-				break
+			if p > 0.5 {
+				verdict.Malicious = true
 			}
 		}
+		if verdict.Malicious {
+			flagged.Add(typ)
+		}
+		d.lastVerdicts = append(d.lastVerdicts, verdict)
 	}
 	return flagged
+}
+
+// Verdicts returns the per-sensor outcomes of the most recent Diagnose
+// call, in canonical sensor order, covering the monitored sensors only.
+// Empty until Diagnose has run with a full observation window.
+func (d *DeLorean) Verdicts() []SensorVerdict {
+	out := make([]SensorVerdict, len(d.lastVerdicts))
+	copy(out, d.lastVerdicts)
+	return out
 }
 
 // Reset clears the history.
 func (d *DeLorean) Reset() {
 	d.errHist = nil
+	d.lastVerdicts = nil
 }
 
 // RAKind selects which detector's residual analysis an RA baseline

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mission"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
 )
 
@@ -52,6 +53,14 @@ type Options struct {
 	// each sweep an experiment submits (the count restarts at every
 	// sweep). Calls are serialized by the runner.
 	Progress func(completed, total int)
+	// Collector, when non-nil, aggregates every mission's telemetry into
+	// the run report. Experiments run sequentially and the runner feeds
+	// the collector in submission order, so the report is byte-identical
+	// at any Workers setting. The δ-calibration sweeps behind DeltaFor are
+	// excluded: they are memoized across experiments, so attributing them
+	// to whichever experiment happened to trigger them would make report
+	// content depend on experiment selection.
+	Collector *telemetry.Collector
 }
 
 // withDefaults fills unset options.
@@ -70,7 +79,7 @@ func (o Options) withDefaults() Options {
 
 // runnerOptions extracts the execution knobs for the parallel runner.
 func (o Options) runnerOptions() runner.Options {
-	return runner.Options{Workers: o.Workers, Progress: o.Progress}
+	return runner.Options{Workers: o.Workers, Progress: o.Progress, Telemetry: o.Collector}
 }
 
 // sweep executes pre-drawn jobs on the parallel runner, returning results

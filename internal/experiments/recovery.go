@@ -179,8 +179,10 @@ func Table6(ctx context.Context, opt Options) (Table6Result, error) {
 			for i := 0; i < opt.Missions; i++ {
 				res, gt := results[j], results[j+1]
 				j += 2
+				rmsd := metrics.AttitudeRMSD(res.AttitudeSeries, gt.AttitudeSeries)
+				opt.Collector.ObserveRMSD(rmsd)
 				samples[k-1] = append(samples[k-1], t6sample{
-					rmsd:  metrics.AttitudeRMSD(res.AttitudeSeries, gt.AttitudeSeries),
+					rmsd:  rmsd,
 					delay: metrics.PercentMissionDelay(res.Duration, gt.Duration, gt.Duration),
 					crash: res.Crashed,
 					succ:  res.Success,

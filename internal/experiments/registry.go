@@ -25,6 +25,9 @@ type expFunc struct {
 func (e expFunc) Name() string { return e.name }
 
 func (e expFunc) Run(ctx context.Context, w io.Writer, opt Options) error {
+	// Attribute all telemetry the experiment's sweeps produce to its
+	// report group.
+	opt.Collector.Begin(e.name)
 	if err := e.run(ctx, w, opt); err != nil {
 		return fmt.Errorf("%s: %w", e.name, err)
 	}

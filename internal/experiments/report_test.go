@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestReportDeterminism is the telemetry PR's headline acceptance check
+// at test scale: the machine-readable run report must be byte-identical
+// at 1 worker and at 8 workers. The report aggregates per-mission
+// telemetry (event traces, latency histograms, float RMSD sums), so this
+// exercises the submission-order collector reduce end to end.
+//
+// Skipped under -short; the race gate (scripts/check.sh) runs it
+// explicitly un-short with -race.
+func TestReportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mission report sweep")
+	}
+	render := func(workers int) []byte {
+		col := telemetry.NewCollector()
+		opt := Options{Missions: 1, Seed: 7, Wind: 2, Workers: workers, Collector: col}
+		var md bytes.Buffer
+		for _, name := range []string{"table4", "fig10"} {
+			e, ok := Get(name)
+			if !ok {
+				t.Fatalf("experiment %q not registered", name)
+			}
+			if err := e.Run(context.Background(), &md, opt); err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, name, err)
+			}
+		}
+		rep, err := col.Report(telemetry.Meta{Generator: "test", Missions: 1, Seed: 7, Wind: 2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var out bytes.Buffer
+		if err := rep.WriteJSON(&out); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("report differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+	// The report must be substantive, not an empty shell.
+	for _, marker := range []string{`"name": "table4"`, `"name": "fig10"`, `"first_attacked_trace"`, `"recovery_engaged"`} {
+		if !bytes.Contains(serial, []byte(marker)) {
+			t.Errorf("report missing %s", marker)
+		}
+	}
+}

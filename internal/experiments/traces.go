@@ -76,10 +76,12 @@ func fig2Scenario(ctx context.Context, strategy core.Strategy, opt Options) (Tra
 	}
 	res, gt := results[0], results[1]
 
+	rmsd := metrics.AttitudeRMSD(res.AttitudeSeries, gt.AttitudeSeries)
+	opt.Collector.ObserveRMSD(rmsd)
 	out := TraceResult{
 		Label:        strategy.String(),
 		Trace:        res.Trace,
-		RMSD:         metrics.AttitudeRMSD(res.AttitudeSeries, gt.AttitudeSeries),
+		RMSD:         rmsd,
 		DelayPercent: metrics.PercentMissionDelay(res.Duration, gt.Duration, gt.Duration),
 		FinalMiss:    res.FinalDistance,
 		Success:      res.Success,

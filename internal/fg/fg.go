@@ -156,6 +156,49 @@ func (g *Graph) Marginal(v *Variable) (float64, error) {
 	return malicious / total, nil
 }
 
+// Marginals returns P(v = Malicious | evidence) for every variable in
+// insertion order, from a single enumeration of the joint. Calling
+// Marginal per variable enumerates the 2ⁿ assignments once per variable;
+// this batch form walks them exactly once, which is what the per-sensor
+// diagnosis graphs use to surface all state verdicts in one pass. As in
+// Marginal, a graph whose factors admit no assignment falls back to the
+// priors.
+func (g *Graph) Marginals() []float64 {
+	n := len(g.vars)
+	malicious := make([]float64, n)
+	var total float64
+	assign := make([]Outcome, n)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			s := g.score(assign)
+			total += s
+			for j := range assign {
+				if assign[j] == Malicious {
+					malicious[j] += s
+				}
+			}
+			return
+		}
+		assign[i] = Benign
+		walk(i + 1)
+		assign[i] = Malicious
+		walk(i + 1)
+	}
+	walk(0)
+	out := make([]float64, n)
+	if floats.Zero(total) {
+		for i, v := range g.vars {
+			out[i] = v.PriorMalicious
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = malicious[i] / total
+	}
+	return out
+}
+
 // MLE returns the maximum-likelihood outcome for v given the evidence
 // (argmax P(s|e), Algorithm 1 line 30): Malicious when
 // P(malicious|e) > 0.5.

@@ -220,3 +220,59 @@ func TestOutcomeString(t *testing.T) {
 		t.Error("unknown outcome should stringify")
 	}
 }
+
+// TestMarginalsMatchesMarginal: the single-pass batch inference must
+// agree with per-variable Marginal on every variable, including under
+// coupling factors.
+func TestMarginalsMatchesMarginal(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a")
+	b := g.AddVariable("b")
+	c := g.AddVariable("c")
+	g.AddFactor("fa", ThresholdFactor(5, 6, 2), a)  // inflated → malicious
+	g.AddFactor("fb", ThresholdFactor(1, 1, 2), b)  // quiet → benign
+	// Coupling: c tracks a (both same outcome scores 1, else 0.2).
+	g.AddFactor("fc", func(assign []Outcome) float64 {
+		if assign[0] == assign[1] {
+			return 1
+		}
+		return 0.2
+	}, a, c)
+
+	batch := g.Marginals()
+	for i, v := range g.Variables() {
+		single, err := g.Marginal(v)
+		if err != nil {
+			t.Fatalf("Marginal(%s): %v", v.Name, err)
+		}
+		if math.Abs(batch[i]-single) > 1e-12 {
+			t.Errorf("var %s: Marginals=%v Marginal=%v", v.Name, batch[i], single)
+		}
+	}
+	if batch[0] < 0.99 {
+		t.Errorf("inflated variable marginal = %v, want ≈ 1", batch[0])
+	}
+	if batch[1] > 0.01 {
+		t.Errorf("quiet variable marginal = %v, want ≈ 0", batch[1])
+	}
+}
+
+// TestMarginalsZeroMassFallsBackToPriors mirrors
+// TestAllZeroFactorsFallBackToPrior for the batch form.
+func TestMarginalsZeroMassFallsBackToPriors(t *testing.T) {
+	g := New()
+	a := g.AddVariable("a")
+	a.PriorMalicious = 0.25
+	g.AddVariable("b")
+	g.AddFactor("impossible", func([]Outcome) float64 { return 0 }, a)
+	got := g.Marginals()
+	if math.Abs(got[0]-0.25) > 1e-12 || math.Abs(got[1]-0.5) > 1e-12 {
+		t.Errorf("zero-mass marginals = %v, want priors [0.25 0.5]", got)
+	}
+}
+
+func TestMarginalsEmptyGraph(t *testing.T) {
+	if got := New().Marginals(); len(got) != 0 {
+		t.Errorf("empty graph marginals = %v, want empty", got)
+	}
+}

@@ -37,6 +37,7 @@ func DefaultAnalyzers() []*Analyzer {
 				modulePath + "/internal/mission",
 				modulePath + "/internal/core",
 				modulePath + "/internal/runner",
+				modulePath + "/internal/telemetry",
 			},
 			ClockPath: clockPath,
 		}),

@@ -143,3 +143,13 @@ func TestPropertyNormalizeBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAttitudeRMSDOneSideEmpty(t *testing.T) {
+	a := [][3]float64{{0.1, 0, 0}}
+	if got := AttitudeRMSD(a, nil); got != 0 {
+		t.Errorf("RMSD(a, nil) = %v, want 0 (no overlap)", got)
+	}
+	if got := AttitudeRMSD(nil, a); got != 0 {
+		t.Errorf("RMSD(nil, a) = %v, want 0 (no overlap)", got)
+	}
+}

@@ -36,6 +36,17 @@ type Reconstructor struct {
 	dt      float64
 }
 
+// ReplayStats describes one roll-forward: the trusted anchor time the
+// replay started from and how many recorded control periods it stepped
+// through. Telemetry attributes reconstruction cost by Records.
+type ReplayStats struct {
+	// AnchorT is the checkpoint timestamp the replay anchored to.
+	AnchorT float64
+	// Records is the number of recorded (input, measurement) records
+	// replayed through the dynamics model.
+	Records int
+}
+
 // New returns a reconstructor for the profile's dynamics model at the
 // given control period.
 func New(p vehicle.Profile, dt float64) *Reconstructor {
@@ -49,10 +60,10 @@ func New(p vehicle.Profile, dt float64) *Reconstructor {
 // sensors NOT in compromised along the way. With every sensor
 // compromised (the LQR-O worst case) this degrades to the pure open-loop
 // model replay.
-func (r *Reconstructor) RollForward(rec *checkpoint.Recorder, compromised sensors.TypeSet) (vehicle.State, error) {
+func (r *Reconstructor) RollForward(rec *checkpoint.Recorder, compromised sensors.TypeSet) (vehicle.State, ReplayStats, error) {
 	anchor, ok := rec.LatestTrusted()
 	if !ok {
-		return vehicle.State{}, ErrNoTrustedState
+		return vehicle.State{}, ReplayStats{}, ErrNoTrustedState
 	}
 	clean := sensors.NewTypeSet()
 	for _, t := range sensors.AllTypes() {
@@ -61,9 +72,11 @@ func (r *Reconstructor) RollForward(rec *checkpoint.Recorder, compromised sensor
 		}
 	}
 
+	stats := ReplayStats{AnchorT: anchor.T}
 	f := ekf.New(r.profile)
 	f.Init(anchor.Est)
 	for _, record := range rec.RecordsSince(anchor.T) {
+		stats.Records++
 		if record.InputOnly || clean.Len() == 0 {
 			// No usable measurements: open-loop model step.
 			f.Predict(record.Input, r.dt)
@@ -73,7 +86,7 @@ func (r *Reconstructor) RollForward(rec *checkpoint.Recorder, compromised sensor
 		// Correction errors cannot occur with a diagonal positive R.
 		_ = f.Correct(record.PS, clean)
 	}
-	return f.State(), nil
+	return f.State(), stats, nil
 }
 
 // Reconstruct builds X'(t_a): states of compromised sensors come from the
@@ -84,10 +97,10 @@ func (r *Reconstructor) Reconstruct(
 	rec *checkpoint.Recorder,
 	live sensors.PhysState,
 	compromised sensors.TypeSet,
-) (sensors.PhysState, vehicle.State, error) {
-	rolled, err := r.RollForward(rec, compromised)
+) (sensors.PhysState, vehicle.State, ReplayStats, error) {
+	rolled, stats, err := r.RollForward(rec, compromised)
 	if err != nil {
-		return sensors.PhysState{}, vehicle.State{}, err
+		return sensors.PhysState{}, vehicle.State{}, ReplayStats{}, err
 	}
 	// Model-derived PS channels for the compromised sensors.
 	modelPS := sensors.TruePhysState(rolled, [3]float64{}, sensors.BodyField(rolled.Yaw))
@@ -96,5 +109,5 @@ func (r *Reconstructor) Reconstruct(
 	// The rigid-body state handed to recovery: live channels where their
 	// sensor is clean, replayed channels where compromised.
 	hybrid := reconstructed.VehicleState()
-	return reconstructed, hybrid, nil
+	return reconstructed, hybrid, stats, nil
 }

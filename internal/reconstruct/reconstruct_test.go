@@ -28,12 +28,15 @@ func TestRollForwardHover(t *testing.T) {
 	dt := 0.01
 	rec, truth := hoverRecorder(t, prof, 3.0, dt)
 	rc := New(prof, dt)
-	got, err := rc.RollForward(rec, sensors.NewTypeSet(sensors.AllTypes()...))
+	got, stats, err := rc.RollForward(rec, sensors.NewTypeSet(sensors.AllTypes()...))
 	if err != nil {
 		t.Fatalf("RollForward: %v", err)
 	}
 	if math.Abs(got.Z-truth.Z) > 0.1 {
 		t.Errorf("rolled z = %v, truth %v", got.Z, truth.Z)
+	}
+	if stats.Records <= 0 {
+		t.Errorf("replay stats records = %d, want > 0", stats.Records)
 	}
 }
 
@@ -41,7 +44,7 @@ func TestRollForwardNoTrusted(t *testing.T) {
 	prof := vehicle.MustProfile(vehicle.Pixhawk)
 	rc := New(prof, 0.01)
 	empty := checkpoint.NewRecorder(1.0)
-	if _, err := rc.RollForward(empty, sensors.NewTypeSet()); !errors.Is(err, ErrNoTrustedState) {
+	if _, _, err := rc.RollForward(empty, sensors.NewTypeSet()); !errors.Is(err, ErrNoTrustedState) {
 		t.Errorf("err = %v, want ErrNoTrustedState", err)
 	}
 }
@@ -56,7 +59,7 @@ func TestReconstructMergesCleanAndModelStates(t *testing.T) {
 	live := sensors.TruePhysState(truth, [3]float64{}, sensors.BodyField(truth.Yaw))
 	live[sensors.SX] += 40
 
-	ps, hybrid, err := rc.Reconstruct(rec, live, sensors.NewTypeSet(sensors.GPS))
+	ps, hybrid, _, err := rc.Reconstruct(rec, live, sensors.NewTypeSet(sensors.GPS))
 	if err != nil {
 		t.Fatalf("Reconstruct: %v", err)
 	}
@@ -83,7 +86,7 @@ func TestReconstructAllCompromisedIsWorstCase(t *testing.T) {
 	for i := range garbage {
 		garbage[i] = 1e6
 	}
-	ps, _, err := rc.Reconstruct(rec, garbage, sensors.NewTypeSet(sensors.AllTypes()...))
+	ps, _, _, err := rc.Reconstruct(rec, garbage, sensors.NewTypeSet(sensors.AllTypes()...))
 	if err != nil {
 		t.Fatalf("Reconstruct: %v", err)
 	}
@@ -105,7 +108,7 @@ func TestReconstructNoneCompromisedIsLive(t *testing.T) {
 	rec, truth := hoverRecorder(t, prof, 3.0, dt)
 	rc := New(prof, dt)
 	live := sensors.TruePhysState(truth, [3]float64{1, 2, 3}, sensors.BodyField(truth.Yaw))
-	ps, _, err := rc.Reconstruct(rec, live, sensors.NewTypeSet())
+	ps, _, _, err := rc.Reconstruct(rec, live, sensors.NewTypeSet())
 	if err != nil {
 		t.Fatalf("Reconstruct: %v", err)
 	}
@@ -134,7 +137,7 @@ func TestRollForwardSpansDetectionGap(t *testing.T) {
 		s = prof.Quad.Step(s, u, vehicle.Wind{}, dt)
 	}
 	rc := New(prof, dt)
-	got, err := rc.RollForward(r, sensors.NewTypeSet(sensors.AllTypes()...))
+	got, _, err := rc.RollForward(r, sensors.NewTypeSet(sensors.AllTypes()...))
 	if err != nil {
 		t.Fatalf("RollForward: %v", err)
 	}

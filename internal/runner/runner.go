@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Job is one pre-drawn mission: a fully specified sim.Config carrying its
@@ -38,6 +39,11 @@ type Options struct {
 	// unspecified (completion order is scheduling-dependent — only the
 	// reduce order is deterministic).
 	Progress func(completed, total int)
+	// Telemetry, when non-nil, receives every job's mission telemetry
+	// after the sweep completes — fed in submission order, never
+	// completion order, so the aggregated run report is byte-identical at
+	// any worker count.
+	Telemetry *telemetry.Collector
 }
 
 // workers resolves the effective pool size for n jobs.
@@ -71,6 +77,13 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]sim.Result, error) {
 	var de *doError
 	if errors.As(err, &de) {
 		return results, fmt.Errorf("runner: job %d (%s): %w", de.index, jobs[de.index].Label, de.err)
+	}
+	if err == nil && opt.Telemetry != nil {
+		// Deterministic reduce: collect per-job telemetry strictly in
+		// submission order.
+		for i := range results {
+			opt.Telemetry.Add(results[i].Telemetry)
+		}
 	}
 	return results, err
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/mission"
 	"repro/internal/sensors"
+	"repro/internal/telemetry"
 	"repro/internal/vehicle"
 	"repro/internal/wind"
 )
@@ -124,6 +125,9 @@ type Result struct {
 	ErrorSamples []sensors.PhysState
 	// MemoryBytes is the peak checkpoint buffer footprint.
 	MemoryBytes int
+	// Telemetry is the mission's full pipeline record: event trace,
+	// counters, per-stage cost-model totals, and outcome classification.
+	Telemetry *telemetry.Mission
 }
 
 // SuccessRadius is the paper's §5.2 mission-success threshold: 2× the
@@ -155,6 +159,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Delta == (diagnosis.Delta{}) {
 		cfg.Delta = core.DefaultDelta(cfg.Profile)
 	}
+	tel := telemetry.NewRecorder()
 	fw, err := core.New(core.Config{
 		Profile:   cfg.Profile,
 		DT:        cfg.DT,
@@ -162,6 +167,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		WindowSec: cfg.WindowSec,
 		Diagnoser: cfg.Diagnoser,
 		Detector:  cfg.Detector,
+		Telemetry: tel,
 	}, cfg.Strategy)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
@@ -183,6 +189,8 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 	done := ctx.Done()
 	dropoutArmed := cfg.DropoutAt > 0 && cfg.DropoutSensors.Len() > 0
+	attackOnsetTick := -1
+	latencyRecorded := false
 	for t := 0.0; t < cfg.MaxSec; t += dt {
 		if tick%cancelCheckTicks == 0 {
 			select {
@@ -215,6 +223,15 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 
 		u := fw.Tick(t, meas, tracker.Target())
 		lastU = u
+		// Detection latency: ticks from the attack first reaching the
+		// sensors to the detector alert latching.
+		if attackActive && attackOnsetTick < 0 {
+			attackOnsetTick = tick
+		}
+		if attackOnsetTick >= 0 && !latencyRecorded && fw.AlertActive() {
+			tel.SetDetectionLatency(tick - attackOnsetTick)
+			latencyRecorded = true
+		}
 		if cfg.CollectErrors && tick%5 == 0 {
 			res.ErrorSamples = append(res.ErrorSamples, fw.LastError())
 		}
@@ -276,6 +293,23 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	res.Success = res.Completed && !res.Crashed && res.FinalDistance < SuccessRadius
 	res.RecoveryActivations = fw.RecoveryActivations()
 	res.DefenseNS, res.TotalNS, res.Ticks = fw.Overhead()
+
+	tel.SetStages(fw.Stages())
+	detail := "completed"
+	switch {
+	case res.Crashed:
+		detail = "crashed:" + res.CrashReason
+	case res.Stalled:
+		detail = "stalled"
+	}
+	tel.FinishMission(res.Ticks, detail, telemetry.Outcome{
+		Success:               res.Success,
+		Crashed:               res.Crashed,
+		Stalled:               res.Stalled,
+		AttackMounted:         cfg.Attacks != nil,
+		DiagnosedDuringAttack: res.DiagnosisRanDuringAttack && res.DiagnosedDuringAttack.Len() > 0,
+	})
+	res.Telemetry = tel.Mission()
 	return res, nil
 }
 

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/sensors"
+	"repro/internal/telemetry"
+)
+
+func kinds(events []telemetry.Event) map[telemetry.Kind]int {
+	m := make(map[telemetry.Kind]int)
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// TestTelemetryAttackedMission: an attacked, recovered mission must carry
+// a full telemetry record — onset-relative detection latency, a recovery
+// episode, the alert/recovery event trace, and cost-model stage totals.
+func TestTelemetryAttackedMission(t *testing.T) {
+	cfg := baseCfg(core.StrategyDeLorean, 3)
+	rng := rand.New(rand.NewSource(99))
+	sda := attack.New(rng, attack.DefaultParams(), sensors.NewTypeSet(sensors.GPS), 15, 35)
+	cfg.Attacks = attack.NewSchedule(sda)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Telemetry
+	if m == nil {
+		t.Fatal("attacked mission produced no telemetry")
+	}
+	if !m.Outcome.AttackMounted {
+		t.Error("outcome does not record the mounted attack")
+	}
+	if m.Outcome.Success != res.Success {
+		t.Errorf("outcome success = %v, result success = %v", m.Outcome.Success, res.Success)
+	}
+	if m.DetectionLatencyTicks < 0 {
+		t.Errorf("detection latency = %d, want >= 0 (attack was detected)", m.DetectionLatencyTicks)
+	}
+	if m.Counters.RecoveryEpisodes == 0 {
+		t.Error("no recovery episodes counted despite activations")
+	}
+	if m.Ticks != res.Ticks {
+		t.Errorf("telemetry ticks = %d, result ticks = %d", m.Ticks, res.Ticks)
+	}
+	if m.Stages.TotalNS() <= 0 || m.Stages.DefenseNS() <= 0 {
+		t.Errorf("stage totals not populated: %+v", m.Stages)
+	}
+	ks := kinds(m.Events)
+	for _, want := range []telemetry.Kind{
+		telemetry.KindAlertRaised, telemetry.KindRecoveryEngaged, telemetry.KindMissionEnd,
+	} {
+		if ks[want] == 0 {
+			t.Errorf("event trace missing %s: %+v", want, m.Events)
+		}
+	}
+	if last := m.Events[len(m.Events)-1]; last.Kind != telemetry.KindMissionEnd {
+		t.Errorf("trace ends with %s, want mission_end", last.Kind)
+	}
+}
+
+// TestTelemetryCleanUndefendedMission: telemetry is always attached, and
+// a quiet StrategyNone mission must show no defense activity.
+func TestTelemetryCleanUndefendedMission(t *testing.T) {
+	res, err := Run(baseCfg(core.StrategyNone, 1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Telemetry
+	if m == nil {
+		t.Fatal("clean mission produced no telemetry")
+	}
+	if m.Outcome.AttackMounted {
+		t.Error("clean mission marked as attacked")
+	}
+	if m.DetectionLatencyTicks != -1 {
+		t.Errorf("latency = %d, want -1 (nothing to detect)", m.DetectionLatencyTicks)
+	}
+	if m.Counters.RecoveryEpisodes != 0 || m.Counters.Reconstructions != 0 {
+		t.Errorf("undefended mission recorded defense work: %+v", m.Counters)
+	}
+	ks := kinds(m.Events)
+	if ks[telemetry.KindRecoveryEngaged] != 0 || ks[telemetry.KindAlertRaised] != 0 {
+		t.Errorf("undefended mission emitted defense events: %+v", m.Events)
+	}
+	if ks[telemetry.KindMissionEnd] != 1 {
+		t.Errorf("want exactly one mission_end event: %+v", m.Events)
+	}
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import "sync"
+
+// Collector folds per-job Missions into per-experiment aggregates. The
+// parallel runner feeds it after its deterministic reduce, in submission
+// order, and experiments run sequentially, so aggregation order — and
+// therefore every float sum in the report — is independent of the worker
+// count. A nil *Collector is a valid no-op sink.
+//
+// The mutex exists for safety, not for ordering: correctness of the
+// report's byte-identity relies on the callers' sequential discipline.
+type Collector struct {
+	mu      sync.Mutex
+	order   []*ExperimentReport
+	byName  map[string]*ExperimentReport
+	current *ExperimentReport
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byName: make(map[string]*ExperimentReport)}
+}
+
+// Begin switches the collector to the named experiment group, creating it
+// on first use. Repeated Begin calls with the same name reuse the group.
+func (c *Collector) Begin(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.current = c.group(name)
+}
+
+// group returns (creating if needed) the named aggregate. Callers hold mu.
+func (c *Collector) group(name string) *ExperimentReport {
+	if g, ok := c.byName[name]; ok {
+		return g
+	}
+	g := &ExperimentReport{
+		Name:      name,
+		Detection: DetectionStats{LatencyTicks: NewHistogram(DefaultLatencyBounds()...)},
+	}
+	c.byName[name] = g
+	c.order = append(c.order, g)
+	return g
+}
+
+// Add folds one mission's telemetry into the current experiment group.
+// Missions arriving before any Begin land in an "unattributed" group.
+func (c *Collector) Add(m *Mission) {
+	if c == nil || m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.current
+	if g == nil {
+		g = c.group("unattributed")
+		c.current = g
+	}
+	g.Jobs++
+	if m.Outcome.Success {
+		g.Succeeded++
+	}
+	if m.Outcome.Crashed {
+		g.Crashed++
+	}
+	if m.Outcome.Stalled {
+		g.Stalled++
+	}
+	g.Ticks += int64(m.Ticks)
+	g.Events += len(m.Events)
+	g.Counters.Add(m.Counters)
+	g.Stages.Add(m.Stages)
+
+	if m.Outcome.AttackMounted {
+		g.AttackedJobs++
+		if m.DetectionLatencyTicks >= 0 {
+			g.Detection.Detected++
+			g.Detection.LatencyTicks.Observe(int64(m.DetectionLatencyTicks))
+		} else {
+			g.Detection.Undetected++
+		}
+		if m.Outcome.DiagnosedDuringAttack {
+			g.Diagnosis.TruePositives++
+		} else {
+			g.Diagnosis.FalseNegatives++
+		}
+		if len(g.FirstAttackedTrace) == 0 {
+			g.FirstAttackedTrace = append([]Event(nil), m.Events...)
+		}
+	} else {
+		if m.Counters.RecoveryEpisodes > 0 {
+			g.Diagnosis.FalsePositives++
+		} else {
+			g.Diagnosis.TrueNegatives++
+		}
+	}
+}
+
+// ObserveRMSD folds one recovery-RMSD value into the current group.
+func (c *Collector) ObserveRMSD(v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.current == nil {
+		c.current = c.group("unattributed")
+	}
+	c.current.RecoveryRMSD.observe(v)
+}
+
+// Report assembles the versioned run report: per-experiment entries in
+// Begin order plus merged totals.
+func (c *Collector) Report(meta Meta) (*Report, error) {
+	if c == nil {
+		return &Report{Version: ReportVersion, Meta: meta}, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &Report{Version: ReportVersion, Meta: meta}
+	totals := ExperimentReport{
+		Name:      "totals",
+		Detection: DetectionStats{LatencyTicks: NewHistogram(DefaultLatencyBounds()...)},
+	}
+	for _, g := range c.order {
+		e := *g
+		// Deep-copy the mutable aggregates so the rendered report is a
+		// snapshot.
+		e.Detection.LatencyTicks = g.Detection.LatencyTicks.Clone()
+		e.FirstAttackedTrace = append([]Event(nil), g.FirstAttackedTrace...)
+		if t := e.Stages.TotalNS(); t > 0 {
+			e.CPUOverheadPercent = 100 * float64(e.Stages.DefenseNS()) / float64(t)
+		}
+		e.RecoveryRMSD.finish()
+		rep.Experiments = append(rep.Experiments, e)
+
+		totals.Jobs += g.Jobs
+		totals.Succeeded += g.Succeeded
+		totals.Crashed += g.Crashed
+		totals.Stalled += g.Stalled
+		totals.AttackedJobs += g.AttackedJobs
+		totals.Ticks += g.Ticks
+		totals.Events += g.Events
+		totals.Counters.Add(g.Counters)
+		totals.Stages.Add(g.Stages)
+		totals.Detection.Detected += g.Detection.Detected
+		totals.Detection.Undetected += g.Detection.Undetected
+		if err := totals.Detection.LatencyTicks.Merge(g.Detection.LatencyTicks); err != nil {
+			return nil, err
+		}
+		totals.Diagnosis.TruePositives += g.Diagnosis.TruePositives
+		totals.Diagnosis.FalseNegatives += g.Diagnosis.FalseNegatives
+		totals.Diagnosis.FalsePositives += g.Diagnosis.FalsePositives
+		totals.Diagnosis.TrueNegatives += g.Diagnosis.TrueNegatives
+		// Min/Max/Sum of the RMSD summaries merge exactly; Mean is
+		// re-derived.
+		if g.RecoveryRMSD.N > 0 {
+			if totals.RecoveryRMSD.N == 0 || g.RecoveryRMSD.Min < totals.RecoveryRMSD.Min {
+				totals.RecoveryRMSD.Min = g.RecoveryRMSD.Min
+			}
+			if totals.RecoveryRMSD.N == 0 || g.RecoveryRMSD.Max > totals.RecoveryRMSD.Max {
+				totals.RecoveryRMSD.Max = g.RecoveryRMSD.Max
+			}
+			totals.RecoveryRMSD.N += g.RecoveryRMSD.N
+			totals.RecoveryRMSD.Sum += g.RecoveryRMSD.Sum
+		}
+	}
+	if t := totals.Stages.TotalNS(); t > 0 {
+		totals.CPUOverheadPercent = 100 * float64(totals.Stages.DefenseNS()) / float64(t)
+	}
+	totals.RecoveryRMSD.finish()
+	rep.Totals = totals
+	return rep, nil
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import "fmt"
+
+// Histogram is a fixed-bound integer histogram over tick-valued
+// observations. Bounds are inclusive upper bucket edges in ascending
+// order; one implicit overflow bucket catches values above the last
+// bound. All state is integer, so Merge is exact and associative — the
+// collector can fold per-mission histograms in any grouping and the
+// result is byte-identical.
+type Histogram struct {
+	Bounds []int64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []int64 `json:"counts"`
+	N      int64   `json:"n"`
+	Sum    int64   `json:"sum"`
+	// Min and Max are the observed extremes; both zero when N == 0.
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+}
+
+// NewHistogram builds a histogram with the given ascending inclusive
+// upper bounds. It panics on unordered bounds — bucket layouts are
+// compile-time choices, not data.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]int64, len(bounds)+1)}
+}
+
+// DefaultLatencyBounds are the detection-latency bucket edges in ticks at
+// the 100 Hz control rate: 0.1 s up to 32 s, then overflow.
+func DefaultLatencyBounds() []int64 {
+	return []int64{10, 25, 50, 100, 200, 400, 800, 1600, 3200}
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Merge accumulates o into h. The bucket layouts must match; merging is
+// exact and associative.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("telemetry: histogram bound count mismatch: %d vs %d", len(h.Bounds), len(o.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if b != o.Bounds[i] {
+			return fmt.Errorf("telemetry: histogram bound mismatch at %d: %d vs %d", i, b, o.Bounds[i])
+		}
+	}
+	if o.N == 0 {
+		return nil
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	if h.N == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if h.N == 0 || o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	return nil
+}
+
+// Mean returns the arithmetic mean of the observations, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{
+		Bounds: make([]int64, len(h.Bounds)),
+		Counts: make([]int64, len(h.Counts)),
+		N:      h.N, Sum: h.Sum, Min: h.Min, Max: h.Max,
+	}
+	copy(out.Bounds, h.Bounds)
+	copy(out.Counts, h.Counts)
+	return out
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram(10, 25)
+	for _, v := range []int64{0, 10, 11, 25, 26, 1000} {
+		h.Observe(v)
+	}
+	// Upper edges are inclusive: 10 → bucket 0, 25 → bucket 1, >25 →
+	// overflow.
+	want := []int64{2, 2, 2}
+	if !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("Counts = %v, want %v", h.Counts, want)
+	}
+	if h.N != 6 || h.Min != 0 || h.Max != 1000 {
+		t.Errorf("N/Min/Max = %d/%d/%d, want 6/0/1000", h.N, h.Min, h.Max)
+	}
+	if h.Sum != 0+10+11+25+26+1000 {
+		t.Errorf("Sum = %d", h.Sum)
+	}
+}
+
+func TestHistogramMergeAssociativity(t *testing.T) {
+	fill := func(vals ...int64) *Histogram {
+		h := NewHistogram(DefaultLatencyBounds()...)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	a := fill(1, 7, 40, 3200, 9000)
+	b := fill(25, 26, 100)
+	c := fill(0, 0, 801, 12)
+
+	// (a ⊕ b) ⊕ c
+	left := a.Clone()
+	if err := left.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	// a ⊕ (b ⊕ c)
+	bc := b.Clone()
+	if err := bc.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	right := a.Clone()
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(left, right) {
+		t.Errorf("merge is not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, right)
+	}
+}
+
+func TestHistogramMergeBoundMismatch(t *testing.T) {
+	a := NewHistogram(10, 20)
+	b := NewHistogram(10, 30)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging histograms with different bounds should error")
+	}
+	c := NewHistogram(10)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging histograms with different bound counts should error")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(100)
+	if got := h.Mean(); math.Abs(got) > 1e-15 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if got := h.Mean(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("mean = %v, want 15", got)
+	}
+}
+
+func TestHistogramCloneIsIndependent(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(5)
+	c := h.Clone()
+	c.Observe(20)
+	if h.N != 1 || c.N != 2 {
+		t.Errorf("clone shares state: h.N=%d c.N=%d", h.N, c.N)
+	}
+	if h.Counts[1] != 0 {
+		t.Error("clone mutation leaked into the original's buckets")
+	}
+}
+
+func TestNewHistogramPanicsOnNonAscendingBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(20, 10) should panic")
+		}
+	}()
+	NewHistogram(20, 10)
+}

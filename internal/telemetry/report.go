@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportVersion is the run-report schema version. Bump it on any change
+// to the report's field set or semantics; CI diffs reports across
+// commits, and an unversioned shape change would read as experiment
+// drift.
+const ReportVersion = 1
+
+// Meta carries the run parameters stamped into a report. Wall-clock
+// timestamps and worker counts are deliberately absent: a report must be
+// byte-identical for a given (seed, missions, wind) at any parallelism.
+type Meta struct {
+	Generator string  `json:"generator"`
+	Missions  int     `json:"missions"`
+	Seed      int64   `json:"seed"`
+	Wind      float64 `json:"wind"`
+}
+
+// Report is the versioned machine-readable run report: one entry per
+// experiment in execution order, plus the cross-experiment totals.
+type Report struct {
+	Version     int                `json:"version"`
+	Meta        Meta               `json:"meta"`
+	Experiments []ExperimentReport `json:"experiments"`
+	Totals      ExperimentReport   `json:"totals"`
+}
+
+// ExperimentReport aggregates one experiment's jobs in submission order.
+type ExperimentReport struct {
+	Name string `json:"name"`
+	// Jobs counts the missions aggregated into this entry.
+	Jobs      int `json:"jobs"`
+	Succeeded int `json:"succeeded"`
+	Crashed   int `json:"crashed"`
+	Stalled   int `json:"stalled"`
+	// AttackedJobs counts jobs with an SDA schedule mounted.
+	AttackedJobs int `json:"attacked_jobs"`
+	// Ticks totals simulated control periods across the jobs.
+	Ticks int64 `json:"ticks"`
+	// Events totals trace events across the jobs.
+	Events int `json:"events"`
+
+	Detection DetectionStats `json:"detection"`
+	Diagnosis DiagnosisStats `json:"diagnosis"`
+	// RecoveryRMSD summarizes the attitude RMSD values experiments report
+	// for recovery-activated missions (Eq. 5).
+	RecoveryRMSD Summary `json:"recovery_rmsd"`
+
+	Counters Counters `json:"counters"`
+	Stages   StageNS  `json:"stages"`
+	// CPUOverheadPercent is the cost model's defense share of the total
+	// modeled loop time (Table 3).
+	CPUOverheadPercent float64 `json:"cpu_overhead_percent"`
+
+	// FirstAttackedTrace is the event trace of the first attacked job in
+	// submission order — one concrete detect→diagnose→recover timeline
+	// per experiment, bounded regardless of scale.
+	FirstAttackedTrace []Event `json:"first_attacked_trace,omitempty"`
+}
+
+// DetectionStats aggregates detection latency over attacked jobs.
+type DetectionStats struct {
+	Detected   int `json:"detected"`
+	Undetected int `json:"undetected"`
+	// LatencyTicks is the onset→alert latency distribution in simulation
+	// ticks.
+	LatencyTicks *Histogram `json:"latency_ticks"`
+}
+
+// DiagnosisStats are the precision/recall inputs of the diagnosis stage,
+// classified per mission.
+type DiagnosisStats struct {
+	// TruePositives: attack mounted and diagnosis implicated sensors
+	// while it was active.
+	TruePositives int `json:"true_positives"`
+	// FalseNegatives: attack mounted but never diagnosed during the
+	// attack.
+	FalseNegatives int `json:"false_negatives"`
+	// FalsePositives: no attack, yet recovery engaged (a gratuitous
+	// activation).
+	FalsePositives int `json:"false_positives"`
+	// TrueNegatives: no attack and no recovery activation.
+	TrueNegatives int `json:"true_negatives"`
+}
+
+// Summary is an order-stable scalar aggregate (values are accumulated in
+// submission order, so the float sums are bit-reproducible).
+type Summary struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+	Mean float64 `json:"mean"`
+}
+
+// observe folds one value into the summary.
+func (s *Summary) observe(v float64) {
+	if s.N == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.N == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.N++
+	s.Sum += v
+}
+
+// finish computes the derived fields.
+func (s *Summary) finish() {
+	if s.N > 0 {
+		s.Mean = s.Sum / float64(s.N)
+	}
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+// encoding/json emits struct fields in declaration order and shortest
+// float representations, so the bytes are stable for identical contents.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n"))
+	return err
+}

@@ -1,0 +1,346 @@
+// Package telemetry is the deterministic observability layer of the
+// detect→diagnose→recover pipeline: per-mission event traces, pipeline
+// counters, fixed-bucket histograms, and per-stage cost-model totals that
+// the runner aggregates into a versioned machine-readable run report.
+//
+// Everything in this package is keyed by simulation ticks — never the
+// wall clock — and aggregation follows job submission order, so a run
+// report is byte-identical at any worker count and on any machine. The
+// determinism analyzer (cmd/delint) enforces the no-wall-clock rule over
+// this package. The layer is allocation-light: a mission's telemetry is
+// a handful of events and fixed-size counter structs, and a nil *Recorder
+// is a valid no-op sink so instrumented code pays only a nil check when
+// telemetry is off.
+package telemetry
+
+import "fmt"
+
+// Kind enumerates the pipeline events a mission can emit.
+type Kind int
+
+// The event kinds of the detect→diagnose→recover pipeline.
+const (
+	// KindAlertRaised marks the attack detector's alert latching; the
+	// detail names the triggering channel and mechanism (instantaneous
+	// residual vs CUSUM accumulation).
+	KindAlertRaised Kind = iota + 1
+	// KindAlertCleared marks the alert unlatching without recovery — a
+	// masked false alarm or an environmental transient.
+	KindAlertCleared
+	// KindDiagnosis is one diagnosis inference pass; the detail carries
+	// the per-sensor verdicts (and marginals for the FG diagnoser).
+	KindDiagnosis
+	// KindReconstruct is a checkpoint restore: the EKF roll-forward
+	// replay from the latest trusted checkpoint (detail: records
+	// replayed).
+	KindReconstruct
+	// KindRecoveryEngaged marks recovery-controller entry; the detail
+	// names the strategy, the controller flown, and the isolated sensors.
+	KindRecoveryEngaged
+	// KindSensorReadmitted marks an isolated sensor re-admitted by the
+	// recovery re-validation loop.
+	KindSensorReadmitted
+	// KindRecoveryExited marks the hand-back to the nominal autopilot.
+	KindRecoveryExited
+	// KindMissionEnd closes the trace with the mission outcome.
+	KindMissionEnd
+)
+
+// String names the kind as rendered in reports.
+func (k Kind) String() string {
+	switch k {
+	case KindAlertRaised:
+		return "alert_raised"
+	case KindAlertCleared:
+		return "alert_cleared"
+	case KindDiagnosis:
+		return "diagnosis"
+	case KindReconstruct:
+		return "reconstruct"
+	case KindRecoveryEngaged:
+		return "recovery_engaged"
+	case KindSensorReadmitted:
+		return "sensor_readmitted"
+	case KindRecoveryExited:
+		return "recovery_exited"
+	case KindMissionEnd:
+		return "mission_end"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalText renders the kind name into JSON reports.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Event is one timestamped pipeline event. Tick is the simulation tick
+// (control periods since mission start) — the only clock this layer
+// knows.
+type Event struct {
+	Tick   int    `json:"tick"`
+	Kind   Kind   `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Counters are one mission's pipeline totals. All fields are exact event
+// counts, so sums over missions are order-independent.
+type Counters struct {
+	// AlertsRaised counts detector alert latch edges.
+	AlertsRaised int `json:"alerts_raised"`
+	// AlertTicks counts control periods with the alert latched while in
+	// normal (non-recovery) mode.
+	AlertTicks int `json:"alert_ticks"`
+	// DiagnosisPasses counts diagnosis inference passes, including the
+	// settling-window re-checks after recovery entry.
+	DiagnosisPasses int `json:"diagnosis_passes"`
+	// MaskedAlerts counts diagnosis passes that implicated no sensor —
+	// detector false alarms masked before recovery could engage.
+	MaskedAlerts int `json:"masked_alerts"`
+	// Reconstructions counts checkpoint restores (EKF roll-forward
+	// replays).
+	Reconstructions int `json:"reconstructions"`
+	// ReplayedRecords totals the checkpoint records replayed across all
+	// reconstructions.
+	ReplayedRecords int `json:"replayed_records"`
+	// RecoveryEpisodes counts recovery-controller activations.
+	RecoveryEpisodes int `json:"recovery_episodes"`
+	// RecoveryTicks counts control periods flown under the recovery
+	// controller.
+	RecoveryTicks int `json:"recovery_ticks"`
+	// SensorsReadmitted counts isolated sensors re-admitted by the
+	// re-validation loop.
+	SensorsReadmitted int `json:"sensors_readmitted"`
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.AlertsRaised += o.AlertsRaised
+	c.AlertTicks += o.AlertTicks
+	c.DiagnosisPasses += o.DiagnosisPasses
+	c.MaskedAlerts += o.MaskedAlerts
+	c.Reconstructions += o.Reconstructions
+	c.ReplayedRecords += o.ReplayedRecords
+	c.RecoveryEpisodes += o.RecoveryEpisodes
+	c.RecoveryTicks += o.RecoveryTicks
+	c.SensorsReadmitted += o.SensorsReadmitted
+}
+
+// StageNS breaks the deterministic cost model's modeled nanoseconds down
+// per control-loop stage. The stages mirror internal/core/costmodel.go:
+// the base columns are the undefended loop, the rest are the defense
+// modules whose sum is the Table 3 CPU-overhead numerator.
+type StageNS struct {
+	BaseLoop int64 `json:"base_loop_ns"`
+	Fusion   int64 `json:"fusion_ns"`
+	Control  int64 `json:"control_ns"`
+
+	Shadow          int64 `json:"shadow_ns"`
+	Detect          int64 `json:"detect_ns"`
+	Observe         int64 `json:"observe_ns"`
+	Checkpoint      int64 `json:"checkpoint_ns"`
+	Diagnose        int64 `json:"diagnose_ns"`
+	Reconstruct     int64 `json:"reconstruct_ns"`
+	RecoveryMonitor int64 `json:"recovery_monitor_ns"`
+}
+
+// DefenseNS is the defense modules' modeled total — the Table 3
+// CPU-overhead numerator.
+func (s StageNS) DefenseNS() int64 {
+	return s.Shadow + s.Detect + s.Observe + s.Checkpoint +
+		s.Diagnose + s.Reconstruct + s.RecoveryMonitor
+}
+
+// BaseNS is the undefended control loop's modeled total.
+func (s StageNS) BaseNS() int64 { return s.BaseLoop + s.Fusion + s.Control }
+
+// TotalNS is the whole control loop's modeled total.
+func (s StageNS) TotalNS() int64 { return s.BaseNS() + s.DefenseNS() }
+
+// Add accumulates o into s.
+func (s *StageNS) Add(o StageNS) {
+	s.BaseLoop += o.BaseLoop
+	s.Fusion += o.Fusion
+	s.Control += o.Control
+	s.Shadow += o.Shadow
+	s.Detect += o.Detect
+	s.Observe += o.Observe
+	s.Checkpoint += o.Checkpoint
+	s.Diagnose += o.Diagnose
+	s.Reconstruct += o.Reconstruct
+	s.RecoveryMonitor += o.RecoveryMonitor
+}
+
+// Outcome is the mission-level classification the collector needs to
+// build precision/recall inputs without re-deriving experiment context.
+type Outcome struct {
+	Success bool `json:"success"`
+	Crashed bool `json:"crashed"`
+	Stalled bool `json:"stalled"`
+	// AttackMounted reports whether an SDA schedule was configured.
+	AttackMounted bool `json:"attack_mounted"`
+	// DiagnosedDuringAttack reports whether diagnosis implicated at least
+	// one sensor while the attack was active.
+	DiagnosedDuringAttack bool `json:"diagnosed_during_attack"`
+}
+
+// Mission is one mission's complete telemetry record: the event trace,
+// the counters, the per-stage cost-model totals, and the outcome.
+type Mission struct {
+	Events   []Event  `json:"events"`
+	Counters Counters `json:"counters"`
+	Stages   StageNS  `json:"stages"`
+	Outcome  Outcome  `json:"outcome"`
+	// Ticks is the mission length in control periods.
+	Ticks int `json:"ticks"`
+	// DetectionLatencyTicks is attack onset → alert latch in ticks; -1
+	// when no attack was mounted or the attack was never detected.
+	DetectionLatencyTicks int `json:"detection_latency_ticks"`
+}
+
+// Recorder accumulates one mission's telemetry. A nil *Recorder is a
+// valid no-op sink, so instrumented pipeline code needs no nil checks at
+// the call sites.
+type Recorder struct {
+	m Mission
+}
+
+// NewRecorder returns an empty mission recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{m: Mission{DetectionLatencyTicks: -1}}
+}
+
+// Event appends a raw event to the trace.
+func (r *Recorder) Event(tick int, kind Kind, detail string) {
+	if r == nil {
+		return
+	}
+	r.m.Events = append(r.m.Events, Event{Tick: tick, Kind: kind, Detail: detail})
+}
+
+// AlertRaised records a detector alert latch edge.
+func (r *Recorder) AlertRaised(tick int, detail string) {
+	if r == nil {
+		return
+	}
+	r.m.Counters.AlertsRaised++
+	r.Event(tick, KindAlertRaised, detail)
+}
+
+// AlertCleared records the alert unlatching without recovery.
+func (r *Recorder) AlertCleared(tick int) {
+	if r == nil {
+		return
+	}
+	r.Event(tick, KindAlertCleared, "")
+}
+
+// AlertTick counts one control period with the alert latched.
+func (r *Recorder) AlertTick() {
+	if r == nil {
+		return
+	}
+	r.m.Counters.AlertTicks++
+}
+
+// DiagnosisPass records one diagnosis inference pass as an event. masked
+// marks an empty verdict (a masked detector false alarm).
+func (r *Recorder) DiagnosisPass(tick int, masked bool, detail string) {
+	if r == nil {
+		return
+	}
+	r.m.Counters.DiagnosisPasses++
+	if masked {
+		r.m.Counters.MaskedAlerts++
+	}
+	r.Event(tick, KindDiagnosis, detail)
+}
+
+// QuietDiagnosisPass counts a settling-window diagnosis re-check without
+// emitting an event (the re-checks run every tick of the union window and
+// would flood the trace).
+func (r *Recorder) QuietDiagnosisPass() {
+	if r == nil {
+		return
+	}
+	r.m.Counters.DiagnosisPasses++
+}
+
+// Reconstruction records one checkpoint restore replaying the given
+// number of records.
+func (r *Recorder) Reconstruction(tick, records int) {
+	if r == nil {
+		return
+	}
+	r.m.Counters.Reconstructions++
+	r.m.Counters.ReplayedRecords += records
+	r.Event(tick, KindReconstruct, fmt.Sprintf("records=%d", records))
+}
+
+// RecoveryEngaged records a recovery-controller activation.
+func (r *Recorder) RecoveryEngaged(tick int, detail string) {
+	if r == nil {
+		return
+	}
+	r.m.Counters.RecoveryEpisodes++
+	r.Event(tick, KindRecoveryEngaged, detail)
+}
+
+// RecoveryTick counts one control period under the recovery controller.
+func (r *Recorder) RecoveryTick() {
+	if r == nil {
+		return
+	}
+	r.m.Counters.RecoveryTicks++
+}
+
+// SensorReadmitted records an isolated sensor re-admitted by the
+// re-validation loop.
+func (r *Recorder) SensorReadmitted(tick int, sensor string) {
+	if r == nil {
+		return
+	}
+	r.m.Counters.SensorsReadmitted++
+	r.Event(tick, KindSensorReadmitted, sensor)
+}
+
+// RecoveryExited records the hand-back to the nominal autopilot.
+func (r *Recorder) RecoveryExited(tick int, detail string) {
+	if r == nil {
+		return
+	}
+	r.Event(tick, KindRecoveryExited, detail)
+}
+
+// SetDetectionLatency records the attack-onset→alert latency in ticks.
+func (r *Recorder) SetDetectionLatency(ticks int) {
+	if r == nil {
+		return
+	}
+	r.m.DetectionLatencyTicks = ticks
+}
+
+// SetStages installs the mission's per-stage cost-model totals.
+func (r *Recorder) SetStages(s StageNS) {
+	if r == nil {
+		return
+	}
+	r.m.Stages = s
+}
+
+// FinishMission closes the trace with the outcome.
+func (r *Recorder) FinishMission(tick int, detail string, o Outcome) {
+	if r == nil {
+		return
+	}
+	r.m.Ticks = tick
+	r.m.Outcome = o
+	r.Event(tick, KindMissionEnd, detail)
+}
+
+// Mission returns the accumulated record. A nil recorder returns nil.
+func (r *Recorder) Mission() *Mission {
+	if r == nil {
+		return nil
+	}
+	return &r.m
+}

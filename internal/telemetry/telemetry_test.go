@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestNilRecorderIsNoOp exercises every Recorder method on a nil receiver:
+// instrumented pipeline code must be able to run with telemetry off.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Event(1, KindAlertRaised, "x")
+	r.AlertRaised(1, "cusum:x")
+	r.AlertCleared(2)
+	r.AlertTick()
+	r.DiagnosisPass(3, true, "")
+	r.QuietDiagnosisPass()
+	r.Reconstruction(4, 100)
+	r.RecoveryEngaged(5, "DeLorean/lqr")
+	r.RecoveryTick()
+	r.SensorReadmitted(6, "GPS")
+	r.RecoveryExited(7, "")
+	r.SetDetectionLatency(12)
+	r.SetStages(StageNS{BaseLoop: 1})
+	r.FinishMission(8, "completed", Outcome{Success: true})
+	if r.Mission() != nil {
+		t.Error("nil recorder should yield a nil mission")
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.AlertRaised(100, "inst:x")
+	r.AlertTick()
+	r.AlertTick()
+	r.DiagnosisPass(101, false, "GPS:p=0.900(malicious)")
+	r.QuietDiagnosisPass()
+	r.Reconstruction(101, 1500)
+	r.RecoveryEngaged(101, "DeLorean/lqr isolated={GPS}")
+	r.RecoveryTick()
+	r.SensorReadmitted(300, "GPS")
+	r.RecoveryExited(320, "was-isolated={GPS}")
+	r.SetDetectionLatency(12)
+	r.SetStages(StageNS{BaseLoop: 10, Shadow: 2})
+	r.FinishMission(5000, "completed", Outcome{Success: true, AttackMounted: true})
+
+	m := r.Mission()
+	want := Counters{
+		AlertsRaised: 1, AlertTicks: 2,
+		DiagnosisPasses: 2, Reconstructions: 1, ReplayedRecords: 1500,
+		RecoveryEpisodes: 1, RecoveryTicks: 1, SensorsReadmitted: 1,
+	}
+	if m.Counters != want {
+		t.Errorf("Counters = %+v, want %+v", m.Counters, want)
+	}
+	if m.DetectionLatencyTicks != 12 {
+		t.Errorf("DetectionLatencyTicks = %d, want 12", m.DetectionLatencyTicks)
+	}
+	if m.Ticks != 5000 || !m.Outcome.Success || !m.Outcome.AttackMounted {
+		t.Errorf("mission close state wrong: %+v", m)
+	}
+	// Event trace: raised, diagnosis, reconstruct, engaged, readmitted,
+	// exited, mission end — quiet passes and per-tick counters emit none.
+	kinds := []Kind{
+		KindAlertRaised, KindDiagnosis, KindReconstruct, KindRecoveryEngaged,
+		KindSensorReadmitted, KindRecoveryExited, KindMissionEnd,
+	}
+	if len(m.Events) != len(kinds) {
+		t.Fatalf("got %d events, want %d: %+v", len(m.Events), len(kinds), m.Events)
+	}
+	for i, k := range kinds {
+		if m.Events[i].Kind != k {
+			t.Errorf("event %d kind = %s, want %s", i, m.Events[i].Kind, k)
+		}
+	}
+}
+
+func TestNewRecorderMarksUndetected(t *testing.T) {
+	r := NewRecorder()
+	if got := r.Mission().DetectionLatencyTicks; got != -1 {
+		t.Errorf("fresh recorder latency = %d, want -1 (undetected)", got)
+	}
+}
+
+// attackedMission builds a detected, diagnosed, recovered attack mission.
+func attackedMission(latency int) *Mission {
+	r := NewRecorder()
+	r.AlertRaised(50, "cusum:x")
+	r.DiagnosisPass(51, false, "GPS")
+	r.RecoveryEngaged(51, "DeLorean/lqr isolated={GPS}")
+	r.SetDetectionLatency(latency)
+	r.FinishMission(1000, "completed", Outcome{
+		Success: true, AttackMounted: true, DiagnosedDuringAttack: true,
+	})
+	return r.Mission()
+}
+
+func TestCollectorClassification(t *testing.T) {
+	c := NewCollector()
+	c.Begin("exp")
+	c.Add(attackedMission(12))
+	// Attacked but never detected nor diagnosed.
+	und := NewRecorder()
+	und.FinishMission(1000, "completed", Outcome{Success: true, AttackMounted: true})
+	c.Add(und.Mission())
+	// Clean mission with a gratuitous recovery: diagnosis FP.
+	fp := NewRecorder()
+	fp.RecoveryEngaged(10, "DeLorean/autopilot isolated={gyroscope}")
+	fp.FinishMission(900, "completed", Outcome{Success: true})
+	c.Add(fp.Mission())
+	// Clean, quiet mission: TN.
+	tn := NewRecorder()
+	tn.FinishMission(800, "completed", Outcome{Success: true})
+	c.Add(tn.Mission())
+
+	rep, err := c.Report(Meta{Generator: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 {
+		t.Fatalf("got %d experiment groups, want 1", len(rep.Experiments))
+	}
+	e := rep.Experiments[0]
+	if e.Jobs != 4 || e.AttackedJobs != 2 {
+		t.Errorf("jobs/attacked = %d/%d, want 4/2", e.Jobs, e.AttackedJobs)
+	}
+	if e.Detection.Detected != 1 || e.Detection.Undetected != 1 {
+		t.Errorf("detection = %+v", e.Detection)
+	}
+	if e.Detection.LatencyTicks.N != 1 || e.Detection.LatencyTicks.Sum != 12 {
+		t.Errorf("latency histogram = %+v", e.Detection.LatencyTicks)
+	}
+	d := e.Diagnosis
+	if d.TruePositives != 1 || d.FalseNegatives != 1 || d.FalsePositives != 1 || d.TrueNegatives != 1 {
+		t.Errorf("diagnosis stats = %+v", d)
+	}
+	if len(e.FirstAttackedTrace) == 0 {
+		t.Error("first attacked trace not captured")
+	}
+	if e.FirstAttackedTrace[0].Kind != KindAlertRaised {
+		t.Errorf("trace starts with %s, want alert_raised", e.FirstAttackedTrace[0].Kind)
+	}
+	if rep.Totals.Jobs != 4 {
+		t.Errorf("totals jobs = %d, want 4", rep.Totals.Jobs)
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.Begin("x")
+	c.Add(attackedMission(5))
+	c.ObserveRMSD(1.5)
+	rep, err := c.Report(Meta{Generator: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != ReportVersion || len(rep.Experiments) != 0 {
+		t.Errorf("nil collector report = %+v", rep)
+	}
+}
+
+// TestReportJSONStable renders the same collector twice: the bytes must
+// match exactly (Report snapshots; WriteJSON is deterministic).
+func TestReportJSONStable(t *testing.T) {
+	c := NewCollector()
+	c.Begin("a")
+	c.Add(attackedMission(7))
+	c.ObserveRMSD(0.25)
+	c.Begin("b")
+	c.Add(attackedMission(90))
+
+	render := func() []byte {
+		rep, err := c.Report(Meta{Generator: "test", Missions: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Error("report JSON differs across renders of the same collector")
+	}
+	if !bytes.Contains(first, []byte(`"version": 1`)) {
+		t.Error("report JSON missing version field")
+	}
+}

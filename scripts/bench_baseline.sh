@@ -8,7 +8,7 @@
 #
 # Usage: scripts/bench_baseline.sh [missions] [seed]
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 MISSIONS="${1:-4}"
 SEED="${2:-1}"

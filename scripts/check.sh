@@ -12,7 +12,7 @@
 # `go test -race -timeout 60m ./...` remains available for release
 # verification.
 set -eu
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 echo "== build =="
 go build ./...
@@ -26,5 +26,11 @@ echo "== race (short) =="
 go test -race -short ./...
 echo "== race (runner + parallel determinism) =="
 go test -race -timeout 1800s ./internal/runner
-go test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight' ./internal/experiments
+go test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight|TestReportDeterminism' ./internal/experiments
+if command -v shellcheck >/dev/null 2>&1; then
+    echo "== shellcheck =="
+    shellcheck scripts/*.sh
+else
+    echo "== shellcheck == (not installed; skipped — CI runs it)"
+fi
 echo "ok: all checks passed"
