@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race race-runner check bench-baseline
+.PHONY: all build test lint race race-runner check bench bench-baseline
 
 all: check
 
@@ -29,6 +29,12 @@ race-runner:
 
 check:
 	sh scripts/check.sh
+
+# Before/after hot-path benchmark comparison against the pre-optimization
+# tree (git worktree), plus the byte-identity check; writes BENCH_PR4.json.
+# See scripts/bench_compare.sh for the BEFORE_REF/BENCHTIME knobs.
+bench:
+	bash scripts/bench_compare.sh
 
 # Records wall-clock for `cmd/experiments -exp all` at workers=1 vs
 # workers=NumCPU into BENCH_BASELINE.json and verifies the two outputs

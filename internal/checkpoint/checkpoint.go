@@ -68,9 +68,11 @@ func (r *Recorder) Record(rec Record) {
 	}
 	if rec.T-r.curStart >= r.window && len(r.cur) > 0 {
 		// Window w_i completed with no alert: it becomes the trusted
-		// window; w_{i−1} is discarded (Fig. 6a).
-		r.prev = r.cur
-		r.cur = nil
+		// window; w_{i−1} is discarded (Fig. 6a). The discarded window's
+		// buffer is recycled as the new current window, so steady-state
+		// recording stops allocating once both buffers have grown to the
+		// window length.
+		r.prev, r.cur = r.cur, r.prev[:0]
 		r.curStart = rec.T
 	}
 	r.cur = append(r.cur, rec)
@@ -90,9 +92,8 @@ func (r *Recorder) OnAlert() {
 	if r.stopped {
 		return
 	}
-	if r.prev == nil && len(r.cur) > 0 {
-		r.prev = r.cur
-		r.cur = nil
+	if len(r.prev) == 0 && len(r.cur) > 0 {
+		r.prev, r.cur = r.cur, r.prev[:0]
 	}
 	r.stopped = true
 }
@@ -102,7 +103,7 @@ func (r *Recorder) OnAlert() {
 // old trusted window is retained until a new quiet window replaces it.
 func (r *Recorder) Resume(t float64) {
 	r.stopped = false
-	r.cur = nil
+	r.cur = r.cur[:0]
 	r.curStart = t
 	r.started = true
 }
@@ -139,8 +140,9 @@ func (r *Recorder) RecordsSince(t float64) []Record {
 func (r *Recorder) Stopped() bool { return r.stopped }
 
 // Trusted returns the attack-free historic states HS (the last completed
-// quiet window), or nil if none exists yet. The returned slice is shared;
-// callers must not mutate it.
+// quiet window), or an empty slice if none exists yet. The returned slice
+// is shared and recycled at the next window rotation; callers must not
+// mutate it or retain it across Record calls.
 func (r *Recorder) Trusted() []Record { return r.prev }
 
 // LatestTrusted returns the most recent trustworthy record x_{t_s}

@@ -1,0 +1,28 @@
+package core_test
+
+// Allocation budget for the steady-state framework tick: after the
+// checkpoint ring and workspaces have warmed up (two full recording
+// windows), a quiet tick must not allocate at all.
+
+import (
+	"testing"
+)
+
+func TestTickSteadyStateZeroAlloc(t *testing.T) {
+	fw, meas, target := benchFramework(t)
+	tick := 0
+	// Warm: two full 5 s windows (500 ticks each) grow both checkpoint
+	// buffers to capacity and exercise one swap rotation.
+	for ; tick < 1100; tick++ {
+		fw.Tick(float64(tick)*0.01, meas, target)
+	}
+	if fw.Recovering() {
+		t.Fatal("quiet warmup entered recovery; benchmark preconditions broken")
+	}
+	if n := testing.AllocsPerRun(300, func() {
+		fw.Tick(float64(tick)*0.01, meas, target)
+		tick++
+	}); n != 0 {
+		t.Errorf("steady-state Tick allocates %v per run, want 0", n)
+	}
+}

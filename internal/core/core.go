@@ -142,6 +142,13 @@ type Framework struct {
 	compromised sensors.TypeSet
 	alertPrev   bool
 
+	// Per-tick scratch: the canonical sensor list, the full trusted set
+	// served on the (steady-state) non-recovery path, and a reused buffer
+	// for the recovery-mode subset — so active() allocates nothing.
+	allTypes  []sensors.Type
+	allActive sensors.TypeSet
+	activeBuf sensors.TypeSet
+
 	recoveryStart   float64
 	diagUnionUntil  float64
 	endEdgeSeen     bool
@@ -189,6 +196,9 @@ func New(cfg Config, strategy Strategy) (*Framework, error) {
 		step:        ekf.StepForProfile(cfg.Profile),
 		mode:        ModeNormal,
 		compromised: sensors.NewTypeSet(),
+		allTypes:    sensors.AllTypes(),
+		allActive:   sensors.NewTypeSet(sensors.AllTypes()...),
+		activeBuf:   sensors.NewTypeSet(),
 	}
 	f.detector = cfg.Detector
 	if f.detector == nil {
@@ -301,19 +311,20 @@ func (f *Framework) MemoryBytes() int { return f.recorder.MemoryBytes() }
 
 // The Table 3 CPU-overhead accounting lives in costmodel.go (Overhead).
 
-// active returns the sensor set currently trusted by the fusion.
+// active returns the sensor set currently trusted by the fusion. The
+// returned set is framework-owned scratch, rebuilt (not reallocated) per
+// tick; callers must not mutate or retain it.
 func (f *Framework) active() sensors.TypeSet {
-	all := sensors.NewTypeSet(sensors.AllTypes()...)
 	if f.mode != ModeRecovery {
-		return all
+		return f.allActive
 	}
-	out := sensors.NewTypeSet()
-	for _, t := range sensors.AllTypes() {
+	clear(f.activeBuf)
+	for _, t := range f.allTypes {
 		if !f.compromised.Has(t) {
-			out.Add(t)
+			f.activeBuf.Add(t)
 		}
 	}
-	return out
+	return f.activeBuf
 }
 
 // Tick runs one control period: fuse, detect, diagnose, reconstruct,

@@ -78,12 +78,17 @@ var (
 type DeLorean struct {
 	delta Delta
 
-	// errHist holds the most recent error vectors, newest last; length is
-	// capped at histLen.
-	errHist []sensors.PhysState
+	// errHist is a fixed ring of the most recent error vectors, newest
+	// last; nHist counts the valid entries and saturates at histLen.
+	// Observe runs every tick, so the window must not allocate.
+	errHist [histLen]sensors.PhysState
+	nHist   int
 	// lastVerdicts are the per-sensor outcomes of the most recent
-	// Diagnose call (telemetry evidence).
+	// Diagnose call (telemetry evidence); the buffer is reused across
+	// calls.
 	lastVerdicts []SensorVerdict
+	// margBuf is Diagnose's reused destination for batch marginals.
+	margBuf []float64
 }
 
 // SensorVerdict is one sensor's diagnosis outcome together with its
@@ -112,12 +117,16 @@ func (d *DeLorean) Name() string { return "DeLorean" }
 // attack-free anchored model reference.
 func (d *DeLorean) Reference() Reference { return RefShadow }
 
-// Observe records the error vector for one diagnosis step.
+// Observe records the error vector for one diagnosis step, shifting the
+// fixed window in place (no allocation — this runs every tick).
 func (d *DeLorean) Observe(predicted, observed sensors.PhysState) {
 	e := observed.AbsDiff(predicted)
-	d.errHist = append(d.errHist, e)
-	if len(d.errHist) > histLen {
-		d.errHist = d.errHist[len(d.errHist)-histLen:]
+	if d.nHist == histLen {
+		copy(d.errHist[:], d.errHist[1:])
+		d.errHist[histLen-1] = e
+	} else {
+		d.errHist[d.nHist] = e
+		d.nHist++
 	}
 }
 
@@ -128,14 +137,15 @@ func (d *DeLorean) Observe(predicted, observed sensors.PhysState) {
 func (d *DeLorean) Diagnose() sensors.TypeSet {
 	flagged := sensors.NewTypeSet()
 	d.lastVerdicts = d.lastVerdicts[:0]
-	if len(d.errHist) < histLen {
+	if d.nHist < histLen {
 		return flagged
 	}
-	ePrev := d.errHist[len(d.errHist)-2]
-	eCur := d.errHist[len(d.errHist)-1]
+	ePrev := d.errHist[histLen-2]
+	eCur := d.errHist[histLen-1]
 
 	for _, typ := range sensors.AllTypes() {
 		graph := fg.New()
+		nvars := 0
 		for _, idx := range sensors.StatesOf(typ) {
 			if d.delta[idx] <= 0 {
 				continue // unmonitored channel on this RV
@@ -146,12 +156,16 @@ func (d *DeLorean) Diagnose() sensors.TypeSet {
 				fg.ThresholdFactor(ePrev[idx], eCur[idx], d.delta[idx]),
 				v,
 			)
+			nvars++
 		}
-		if len(graph.Variables()) == 0 {
+		if nvars == 0 {
 			continue // sensor entirely unmonitored on this RV
 		}
+		if cap(d.margBuf) < nvars {
+			d.margBuf = make([]float64, nvars)
+		}
 		verdict := SensorVerdict{Sensor: typ}
-		for _, p := range graph.Marginals() {
+		for _, p := range graph.MarginalsInto(d.margBuf[:nvars]) {
 			if p > verdict.MaxMarginal {
 				verdict.MaxMarginal = p
 			}
@@ -176,10 +190,10 @@ func (d *DeLorean) Verdicts() []SensorVerdict {
 	return out
 }
 
-// Reset clears the history.
+// Reset clears the history, retaining the verdict buffer for reuse.
 func (d *DeLorean) Reset() {
-	d.errHist = nil
-	d.lastVerdicts = nil
+	d.nHist = 0
+	d.lastVerdicts = d.lastVerdicts[:0]
 }
 
 // RAKind selects which detector's residual analysis an RA baseline

@@ -74,13 +74,86 @@ type Filter struct {
 	obs     []obsChannel
 	magYawN float64
 
+	ws workspace
+}
+
+// workspace holds the filter's preallocated scratch so the steady-state
+// Predict/Correct cycle allocates nothing. All matrices are sized at New
+// for the filter's maximum observation count; the Correct scratch is
+// reshaped (never grown) to the active row count each call. The scratch
+// is strictly call-local — no state survives in it between steps — so
+// reusing it cannot change results; delint's hotalloc analyzer keeps the
+// hot functions from quietly reverting to the allocating kernels.
+type workspace struct {
 	// fkin is the kinematic transition Jacobian used for covariance
 	// propagation. Because the prediction is strapdown (measurement
 	// driven), attitude errors do not couple into velocity through the
 	// dynamics model; the only structural coupling is position ← velocity.
 	// Using the full model Jacobian here would let GPS innovations leak
 	// into the attitude estimate through spurious cross-covariances.
-	fkin *mat.Mat
+	// It is built lazily on the first covariance propagation after Init
+	// (dt is fixed per mission) together with its cached transpose.
+	fkin  *mat.Mat
+	fkinT *mat.Mat
+	// qdt caches q·dt for the dt of the most recent propagation.
+	qdt   *mat.Mat
+	qdtDT float64
+
+	// nx×nx scratch for covariance propagation and the Joseph-form-style
+	// update, plus the cached identity.
+	nxA, nxB *mat.Mat
+	ident    *mat.Mat
+
+	// Correct scratch, reshaped to the active row count m each call.
+	rows  []obsChannel
+	z     []float64
+	h     *mat.Mat // m×nx observation matrix
+	ht    *mat.Mat // nx×m
+	ph    *mat.Mat // nx×m
+	pht   *mat.Mat // m×nx
+	hph   *mat.Mat // m×m
+	rmat  *mat.Mat // m×m measurement-noise diagonal
+	s     *mat.Mat // m×m innovation covariance
+	st    *mat.Mat // m×m
+	kt    *mat.Mat // m×nx gain transpose
+	k     *mat.Mat // nx×m gain
+	xvec  mat.Vec
+	innov mat.Vec
+	dx    mat.Vec
+	lu    mat.LU
+}
+
+// newWorkspace preallocates scratch for a filter with maxM observation
+// rows.
+func newWorkspace(maxM int) workspace {
+	return workspace{
+		qdt:   mat.New(nx, nx),
+		nxA:   mat.New(nx, nx),
+		nxB:   mat.New(nx, nx),
+		ident: mat.Identity(nx),
+		rows:  make([]obsChannel, 0, maxM),
+		z:     make([]float64, 0, maxM),
+		h:     mat.New(maxM, nx),
+		ht:    mat.New(nx, maxM),
+		ph:    mat.New(nx, maxM),
+		pht:   mat.New(maxM, nx),
+		hph:   mat.New(maxM, maxM),
+		rmat:  mat.New(maxM, maxM),
+		s:     mat.New(maxM, maxM),
+		st:    mat.New(maxM, maxM),
+		kt:    mat.New(maxM, nx),
+		k:     mat.New(nx, maxM),
+		xvec:  mat.NewVec(nx),
+		innov: mat.NewVec(maxM),
+		dx:    mat.NewVec(nx),
+	}
+}
+
+// reshape resizes a workspace matrix to r×c, reusing its backing array
+// (the workspace is sized at New for the maximum row count).
+func reshape(m *mat.Mat, r, c int) {
+	m.Rows, m.Cols = r, c
+	m.Data = m.Data[:r*c]
 }
 
 // New returns a filter for the profile, with measurement noise taken from
@@ -110,6 +183,7 @@ func New(p vehicle.Profile) *Filter {
 		q:       defaultProcessNoise(),
 		obs:     obs,
 		magYawN: nz(10 * n.Mag),
+		ws:      newWorkspace(len(obs)),
 	}
 }
 
@@ -147,7 +221,8 @@ func defaultProcessNoise() *mat.Mat {
 func (f *Filter) Init(s vehicle.State) {
 	f.x = s
 	f.p = mat.Identity(nx).Scale(0.1)
-	f.fkin = nil
+	f.ws.fkin = nil
+	f.ws.fkinT = nil
 }
 
 // State returns the current estimate.
@@ -155,6 +230,10 @@ func (f *Filter) State() vehicle.State { return f.x }
 
 // Covariance returns a copy of the estimate covariance.
 func (f *Filter) Covariance() *mat.Mat { return f.p.Clone() }
+
+// CovarianceInto copies the estimate covariance into dst without
+// allocating. dst must be 12×12.
+func (f *Filter) CovarianceInto(dst *mat.Mat) { mat.CloneInto(dst, f.p) }
 
 // SetState force-sets the estimate (used when recovery hands the filter a
 // reconstructed state).
@@ -217,12 +296,37 @@ func (f *Filter) PredictHybrid(u vehicle.Input, meas sensors.PhysState, active s
 	f.x = next
 }
 
+// propagateCovariance advances P ← sym(F·P·Fᵀ + Q·dt) entirely in the
+// preallocated workspace. The arithmetic and its evaluation order are the
+// same as the allocating chain fj.Mul(p).Mul(fj.T()).Add(q.Scale(dt)).
+// Symmetrize() it replaced, so covariances stay bit-identical.
 func (f *Filter) propagateCovariance(_ vehicle.Input, dt float64) {
-	if f.fkin == nil {
-		f.fkin = kinematicJacobian(dt)
+	ws := &f.ws
+	//lint:ignore floatcmp dt is a cache key: any bit change must rebuild Q·dt
+	if ws.fkin == nil || ws.qdtDT != dt {
+		f.refreshDT(dt)
 	}
-	fj := f.fkin
-	f.p = fj.Mul(f.p).Mul(fj.T()).Add(f.q.Scale(dt)).Symmetrize()
+	mat.MulInto(ws.nxA, ws.fkin, f.p)
+	mat.MulInto(ws.nxB, ws.nxA, ws.fkinT)
+	mat.AddInto(ws.nxB, ws.nxB, ws.qdt)
+	mat.SymmetrizeInto(f.p, ws.nxB)
+}
+
+// refreshDT rebuilds the dt-dependent scratch: the kinematic transition
+// Jacobian (built once per Init — dt is fixed within a mission) and the
+// scaled process noise Q·dt (re-derived whenever dt changes). Cold path:
+// it allocates, so it is deliberately outside the hotalloc-gated set.
+func (f *Filter) refreshDT(dt float64) {
+	ws := &f.ws
+	if ws.fkin == nil {
+		ws.fkin = kinematicJacobian(dt)
+		ws.fkinT = ws.fkin.T()
+	}
+	//lint:ignore floatcmp dt is a cache key: any bit change must rebuild Q·dt
+	if ws.qdtDT != dt {
+		mat.ScaleInto(ws.qdt, dt, f.q)
+		ws.qdtDT = dt
+	}
 }
 
 // MagYaw derives the yaw observation from a magnetometer field
@@ -235,8 +339,9 @@ func MagYaw(meas sensors.PhysState) float64 {
 // active; masked sensors contribute nothing — the isolation mechanism of
 // Fig. 4. Inertial sensors do not appear here; they act in PredictHybrid.
 func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
-	var rows []obsChannel
-	var z []float64
+	ws := &f.ws
+	rows := ws.rows[:0]
+	z := ws.z[:0]
 	for _, ch := range f.obs {
 		if !active.Has(ch.sensor) {
 			continue
@@ -251,18 +356,22 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 			z = append(z, measChannel(meas, ch))
 		}
 	}
+	ws.rows, ws.z = rows, z
 	if len(rows) == 0 {
 		return nil
 	}
 	m := len(rows)
-	h := mat.New(m, nx)
-	rdiag := make([]float64, m)
+	reshape(ws.h, m, nx)
+	reshape(ws.rmat, m, m)
+	ws.h.Zero()
+	ws.rmat.Zero()
 	for i, ch := range rows {
-		h.Set(i, ch.state, 1)
-		rdiag[i] = ch.noise * ch.noise
+		ws.h.Set(i, ch.state, 1)
+		ws.rmat.Set(i, i, ch.noise*ch.noise)
 	}
-	xvec := mat.Vec(f.x.Vec())
-	innov := mat.NewVec(m)
+	xvec := ws.xvec
+	f.x.VecInto(xvec)
+	innov := ws.innov[:m]
 	for i, ch := range rows {
 		d := z[i] - xvec[ch.state]
 		if ch.state >= 6 && ch.state <= 8 {
@@ -270,8 +379,17 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 		}
 		innov[i] = d
 	}
-	ph := f.p.Mul(h.T())
-	s := h.Mul(ph).Add(mat.Diag(rdiag))
+	reshape(ws.ht, nx, m)
+	mat.TransposeInto(ws.ht, ws.h)
+	reshape(ws.ph, nx, m)
+	mat.MulInto(ws.ph, f.p, ws.ht)
+	// S = H·P·Hᵀ + R. The addition runs over the full m×m matrices (R is
+	// zero off the diagonal), matching the element order of the allocating
+	// Add(Diag(rdiag)) it replaced.
+	reshape(ws.hph, m, m)
+	mat.MulInto(ws.hph, ws.h, ws.ph)
+	reshape(ws.s, m, m)
+	mat.AddInto(ws.s, ws.hph, ws.rmat)
 	// Innovation gating: clamp each innovation to ±gateSigma·√S_ii, the
 	// standard EKF defense against implausible jumps. A deception bias
 	// larger than the gate is admitted gradually (a few gates per
@@ -281,22 +399,35 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 	// autopilot stacks.
 	const gateSigma = 5.0
 	for i := range innov {
-		gate := gateSigma * math.Sqrt(s.At(i, i))
+		gate := gateSigma * math.Sqrt(ws.s.At(i, i))
 		innov[i] = vehicle.Clamp(innov[i], -gate, gate)
 	}
 	// K = P Hᵀ S⁻¹  ⇒  solve Sᵀ Kᵀ = (P Hᵀ)ᵀ.
-	kt, err := mat.SolveMat(s.T(), ph.T())
-	if err != nil {
+	reshape(ws.st, m, m)
+	mat.TransposeInto(ws.st, ws.s)
+	reshape(ws.pht, m, nx)
+	mat.TransposeInto(ws.pht, ws.ph)
+	reshape(ws.kt, m, nx)
+	if err := ws.lu.Refactor(ws.st); err != nil {
 		return fmt.Errorf("ekf correct: %w", err)
 	}
-	k := kt.T()
-	dx := k.MulVec(innov)
-	xvec = xvec.Add(dx)
+	if err := ws.lu.SolveInto(ws.kt, ws.pht); err != nil {
+		return fmt.Errorf("ekf correct: %w", err)
+	}
+	reshape(ws.k, nx, m)
+	mat.TransposeInto(ws.k, ws.kt)
+	mat.MulVecInto(ws.dx, ws.k, innov)
+	xvec.AddInPlace(ws.dx)
 	f.x = vehicle.StateFromVec(xvec)
 	f.x.Roll = vehicle.WrapAngle(f.x.Roll)
 	f.x.Pitch = vehicle.WrapAngle(f.x.Pitch)
 	f.x.Yaw = vehicle.WrapAngle(f.x.Yaw)
-	f.p = mat.Identity(nx).Sub(k.Mul(h)).Mul(f.p).Symmetrize()
+	// P ← sym((I − K·H)·P), in the same evaluation order as the allocating
+	// Identity(nx).Sub(k.Mul(h)).Mul(p).Symmetrize() chain it replaced.
+	mat.MulInto(ws.nxA, ws.k, ws.h)
+	mat.SubInto(ws.nxA, ws.ident, ws.nxA)
+	mat.MulInto(ws.nxB, ws.nxA, f.p)
+	mat.SymmetrizeInto(f.p, ws.nxB)
 	return nil
 }
 

@@ -1,0 +1,210 @@
+package ekf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/sensors"
+	"repro/internal/vehicle"
+)
+
+// This file pins the tentpole's correctness contract: the workspace-based
+// zero-allocation Predict/Correct cycle must produce bit-identical states
+// and covariances to the allocating formulas it replaced. The reference
+// implementations below are verbatim transcriptions of the pre-workspace
+// code, built on the allocating mat API.
+
+// refPropagate is the allocating covariance propagation:
+// P ← sym(F·P·Fᵀ + Q·dt).
+func refPropagate(p, q, fkin *mat.Mat, dt float64) *mat.Mat {
+	return fkin.Mul(p).Mul(fkin.T()).Add(q.Scale(dt)).Symmetrize()
+}
+
+// refCorrect is the allocating correction step, operating on an external
+// (p, x) pair with the filter's observation channels.
+func refCorrect(f *Filter, p *mat.Mat, x vehicle.State, meas sensors.PhysState, active sensors.TypeSet) (*mat.Mat, vehicle.State, error) {
+	var rows []obsChannel
+	var z []float64
+	for _, ch := range f.obs {
+		if !active.Has(ch.sensor) {
+			continue
+		}
+		if ch.sensor == sensors.Gyro && !f.isQuad {
+			continue
+		}
+		rows = append(rows, ch)
+		if ch.sensor == sensors.Mag {
+			z = append(z, MagYaw(meas))
+		} else {
+			z = append(z, measChannel(meas, ch))
+		}
+	}
+	if len(rows) == 0 {
+		return p, x, nil
+	}
+	m := len(rows)
+	h := mat.New(m, nx)
+	rdiag := make([]float64, m)
+	for i, ch := range rows {
+		h.Set(i, ch.state, 1)
+		rdiag[i] = ch.noise * ch.noise
+	}
+	xvec := mat.Vec(x.Vec())
+	innov := mat.NewVec(m)
+	for i, ch := range rows {
+		d := z[i] - xvec[ch.state]
+		if ch.state >= 6 && ch.state <= 8 {
+			d = vehicle.WrapAngle(d)
+		}
+		innov[i] = d
+	}
+	ph := p.Mul(h.T())
+	s := h.Mul(ph).Add(mat.Diag(rdiag))
+	const gateSigma = 5.0
+	for i := range innov {
+		gate := gateSigma * math.Sqrt(s.At(i, i))
+		innov[i] = vehicle.Clamp(innov[i], -gate, gate)
+	}
+	kt, err := mat.SolveMat(s.T(), ph.T())
+	if err != nil {
+		return nil, x, err
+	}
+	k := kt.T()
+	dx := k.MulVec(innov)
+	xvec = xvec.Add(dx)
+	out := vehicle.StateFromVec(xvec)
+	out.Roll = vehicle.WrapAngle(out.Roll)
+	out.Pitch = vehicle.WrapAngle(out.Pitch)
+	out.Yaw = vehicle.WrapAngle(out.Yaw)
+	pOut := mat.Identity(nx).Sub(k.Mul(h)).Mul(p).Symmetrize()
+	return pOut, out, nil
+}
+
+// bitsEqualMat asserts element-wise bit identity.
+func bitsEqualMat(t *testing.T, step int, what string, got, want *mat.Mat) {
+	t.Helper()
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("step %d: %s diverges at element %d: %g != %g",
+				step, what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// bitsEqualState asserts bit identity of two states.
+func bitsEqualState(t *testing.T, step int, got, want vehicle.State) {
+	t.Helper()
+	gv, wv := got.Vec(), want.Vec()
+	for i := range wv {
+		if math.Float64bits(gv[i]) != math.Float64bits(wv[i]) {
+			t.Fatalf("step %d: state diverges at component %d: %g != %g",
+				step, i, gv[i], wv[i])
+		}
+	}
+}
+
+// TestWorkspaceMatchesAllocatingReference drives the filter through a
+// deterministic Predict/Correct sequence — including masked-sensor phases
+// that reshape the Correct workspace to a smaller row count — and checks
+// state and covariance stay bit-identical to the allocating reference
+// after every step.
+func TestWorkspaceMatchesAllocatingReference(t *testing.T) {
+	profiles := []vehicle.ProfileName{vehicle.ArduCopter, vehicle.ArduRover}
+	for _, id := range profiles {
+		prof := vehicle.MustProfile(id)
+		t.Run(string(prof.Name), func(t *testing.T) {
+			f := New(prof)
+			start := vehicle.State{Z: 10}
+			f.Init(start)
+
+			const dt = 0.01
+			refP := mat.Identity(nx).Scale(0.1)
+			refX := start
+			fkin := kinematicJacobian(dt)
+
+			all := sensors.NewTypeSet(sensors.AllTypes()...)
+			masked := all.Clone()
+			delete(masked, sensors.GPS)
+
+			rng := rand.New(rand.NewSource(7))
+			u := vehicle.Input{Thrust: 9.0}
+			for i := 0; i < 200; i++ {
+				// A wandering truth state drives non-trivial innovations.
+				truth := vehicle.State{
+					X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: 10 + rng.NormFloat64(),
+					VX: rng.NormFloat64(), VY: rng.NormFloat64(), VZ: rng.NormFloat64(),
+					Yaw: rng.NormFloat64() * 0.3,
+				}
+				meas := sensors.TruePhysState(truth, [3]float64{}, sensors.BodyField(truth.Yaw))
+
+				f.Predict(u, dt)
+				refP = refPropagate(refP, f.q, fkin, dt)
+				refX = f.step(refX, u, dt)
+				bitsEqualMat(t, i, "covariance after Predict", f.p, refP)
+				bitsEqualState(t, i, f.x, refX)
+
+				// Mask GPS for a stretch: the workspace reshapes to fewer
+				// observation rows and must still match.
+				active := all
+				if i >= 80 && i < 120 {
+					active = masked
+				}
+				if err := f.Correct(meas, active); err != nil {
+					t.Fatalf("step %d: Correct: %v", i, err)
+				}
+				var err error
+				refP, refX, err = refCorrect(f, refP, refX, meas, active)
+				if err != nil {
+					t.Fatalf("step %d: refCorrect: %v", i, err)
+				}
+				bitsEqualMat(t, i, "covariance after Correct", f.p, refP)
+				bitsEqualState(t, i, f.x, refX)
+			}
+		})
+	}
+}
+
+// TestInitResetsJacobianCache: Init must discard the cached transition
+// Jacobian so a new mission dt takes effect (the pre-workspace semantics:
+// fkin is keyed to the first dt after Init).
+func TestInitResetsJacobianCache(t *testing.T) {
+	f := New(vehicle.MustProfile(vehicle.ArduCopter))
+	f.Init(vehicle.State{Z: 10})
+	f.Predict(vehicle.Input{}, 0.01)
+	first := f.ws.fkin
+	f.Predict(vehicle.Input{}, 0.02) // same mission: jacobian must NOT rebuild
+	if f.ws.fkin != first {
+		t.Fatal("fkin rebuilt mid-mission; pre-workspace semantics key it to the first dt after Init")
+	}
+	f.Init(vehicle.State{Z: 10})
+	if f.ws.fkin != nil {
+		t.Fatal("Init did not clear the jacobian cache")
+	}
+	f.Predict(vehicle.Input{}, 0.02)
+	if f.ws.fkin == first {
+		t.Fatal("jacobian cache not rebuilt after Init")
+	}
+	if got := f.ws.fkin.At(0, 3); got != 0.02 {
+		t.Fatalf("rebuilt jacobian uses dt=%v, want 0.02", got)
+	}
+}
+
+// TestCovarianceInto: the non-allocating accessor matches the cloning one.
+func TestCovarianceInto(t *testing.T) {
+	f := New(vehicle.MustProfile(vehicle.ArduCopter))
+	f.Init(vehicle.State{Z: 5})
+	f.Predict(vehicle.Input{}, 0.01)
+	dst := mat.New(nx, nx)
+	f.CovarianceInto(dst)
+	want := f.Covariance()
+	for i := range want.Data {
+		if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("CovarianceInto diverges from Covariance at %d", i)
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() { f.CovarianceInto(dst) }); n != 0 {
+		t.Errorf("CovarianceInto allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,48 @@
+package fg_test
+
+// Benchmark for the factor-graph inference path the diagnosis engine
+// drives. Public API only, so scripts/bench_compare.sh can run the same
+// file against the pre-optimization tree.
+
+import (
+	"testing"
+
+	"repro/internal/fg"
+)
+
+// buildDiagnosisShapedGraph mirrors the per-sensor diagnosis graphs: one
+// variable and one threshold factor per monitored physical state.
+func buildDiagnosisShapedGraph(n int) (*fg.Graph, []*fg.Variable) {
+	g := fg.New()
+	vars := make([]*fg.Variable, n)
+	for i := 0; i < n; i++ {
+		v := g.AddVariable("s")
+		inflate := float64(i%2) * 2
+		g.AddFactor("f", fg.ThresholdFactor(inflate, inflate, 1), v)
+		vars[i] = v
+	}
+	return g, vars
+}
+
+func BenchmarkFGMarginals(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, _ := buildDiagnosisShapedGraph(6)
+		_ = g.Marginals()
+	}
+}
+
+// BenchmarkFGMarginalAllVars measures per-variable queries on one graph —
+// the pattern that paid 2ⁿ per variable before the shared enumeration.
+func BenchmarkFGMarginalAllVars(b *testing.B) {
+	g, vars := buildDiagnosisShapedGraph(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vars {
+			if _, err := g.Marginal(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

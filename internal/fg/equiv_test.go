@@ -1,0 +1,228 @@
+package fg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMarginals is a verbatim transcription of the recursive 2ⁿ walk the
+// iterative cached enumeration replaced: the equivalence oracle for the
+// floating-point accumulation order.
+func refMarginals(g *Graph) []float64 {
+	n := len(g.vars)
+	malicious := make([]float64, n)
+	var total float64
+	assign := make([]Outcome, n)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			s := refScore(g, assign)
+			total += s
+			for j := range assign {
+				if assign[j] == Malicious {
+					malicious[j] += s
+				}
+			}
+			return
+		}
+		assign[i] = Benign
+		walk(i + 1)
+		assign[i] = Malicious
+		walk(i + 1)
+	}
+	walk(0)
+	out := make([]float64, n)
+	if total == 0 {
+		for i, v := range g.vars {
+			out[i] = v.PriorMalicious
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = malicious[i] / total
+	}
+	return out
+}
+
+// refScore is the allocating per-assignment score of the pre-cache code.
+func refScore(g *Graph, assign []Outcome) float64 {
+	p := 1.0
+	for i, v := range g.vars {
+		if assign[i] == Malicious {
+			p *= v.PriorMalicious
+		} else {
+			p *= 1 - v.PriorMalicious
+		}
+	}
+	for _, f := range g.factors {
+		local := make([]Outcome, len(f.vars))
+		for i, v := range f.vars {
+			local[i] = assign[v.index]
+		}
+		p *= f.fn(local)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// randomGraph builds a graph with n variables, random priors, per-variable
+// soft factors, and one pairwise coupling factor.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := New()
+	vars := make([]*Variable, n)
+	for i := 0; i < n; i++ {
+		v := g.AddVariable("v")
+		v.PriorMalicious = 0.2 + 0.6*rng.Float64()
+		vars[i] = v
+		w := 0.1 + 0.8*rng.Float64()
+		g.AddFactor("soft", func(assign []Outcome) float64 {
+			if assign[0] == Malicious {
+				return w
+			}
+			return 1 - w
+		}, v)
+	}
+	if n >= 2 {
+		g.AddFactor("pair", func(assign []Outcome) float64 {
+			if assign[0] == assign[1] {
+				return 0.9
+			}
+			return 0.35
+		}, vars[0], vars[1])
+	}
+	return g
+}
+
+// TestIterativeMatchesRecursive pins the single-enumeration cache to the
+// recursive walk bit-for-bit, for Marginals, Marginal, and MLE.
+func TestIterativeMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 8; n++ {
+		g := randomGraph(rng, n)
+		want := refMarginals(g)
+		got := g.Marginals()
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d: Marginals[%d] = %g, reference %g (bits differ)", n, i, got[i], want[i])
+			}
+		}
+		for i, v := range g.Variables() {
+			p, err := g.Marginal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(p) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d: Marginal(v%d) = %g, reference %g", n, i, p, want[i])
+			}
+			o, err := g.MLE(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantO := Benign
+			if want[i] > 0.5 {
+				wantO = Malicious
+			}
+			if o != wantO {
+				t.Fatalf("n=%d: MLE(v%d) = %v, want %v", n, i, o, wantO)
+			}
+		}
+	}
+}
+
+// TestZeroTotalFallsBackToPriors: an all-zero joint still reports priors
+// through the cache path, exactly as the recursive walk did.
+func TestZeroTotalFallsBackToPriors(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	v.PriorMalicious = 0.3
+	g.AddFactor("never", func([]Outcome) float64 { return 0 }, v)
+	p, err := g.Marginal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.3 {
+		t.Fatalf("zero-total marginal = %g, want prior 0.3", p)
+	}
+}
+
+// TestCacheInvalidation: a structural mutation after inference must
+// trigger recomputation, and Invalidate must cover evidence changes
+// hidden inside factor closures.
+func TestCacheInvalidation(t *testing.T) {
+	g := New()
+	v := g.AddVariable("x")
+	p0, _ := g.Marginal(v)
+	if p0 != 0.5 {
+		t.Fatalf("uniform prior marginal = %g, want 0.5", p0)
+	}
+	// Structural mutation: adding a decisive factor must invalidate.
+	g.AddFactor("f", ThresholdFactor(1, 1, 0.5), v)
+	p1, _ := g.Marginal(v)
+	if p1 <= 0.99 {
+		t.Fatalf("marginal after AddFactor = %g, want ≈1 (cache not invalidated?)", p1)
+	}
+	// Evidence mutation inside a closure: needs explicit Invalidate.
+	evidence := 1.0
+	g2 := New()
+	w := g2.AddVariable("y")
+	g2.AddFactor("g", func(assign []Outcome) float64 {
+		inflated := evidence > 0.5
+		if inflated == (assign[0] == Malicious) {
+			return 1
+		}
+		return 0
+	}, w)
+	hi, _ := g2.Marginal(w)
+	evidence = 0.0
+	stale, _ := g2.Marginal(w)
+	if stale != hi {
+		t.Fatal("expected stale cached marginal before Invalidate")
+	}
+	g2.Invalidate()
+	fresh, _ := g2.Marginal(w)
+	if fresh == hi {
+		t.Fatal("Invalidate did not force recomputation")
+	}
+}
+
+// TestMarginalsIntoContract: length is checked, the cached path is
+// allocation-free once warmed, and repeated calls return stable values.
+func TestMarginalsIntoContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomGraph(rng, 5)
+	buf := make([]float64, 5)
+	want := g.Marginals()
+	got := g.MarginalsInto(buf)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MarginalsInto[%d] = %g, Marginals %g", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MarginalsInto with wrong length should panic")
+		}
+	}()
+	g.MarginalsInto(make([]float64, 2))
+}
+
+// TestMarginalsIntoZeroAlloc: with warmed scratch, a full recomputation
+// (Invalidate + MarginalsInto) allocates nothing.
+func TestMarginalsIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 6)
+	buf := make([]float64, 6)
+	g.MarginalsInto(buf) // grow scratch once
+	if n := testing.AllocsPerRun(50, func() {
+		g.Invalidate()
+		g.MarginalsInto(buf)
+	}); n != 0 {
+		t.Errorf("Invalidate+MarginalsInto allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { g.MarginalsInto(buf) }); n != 0 {
+		t.Errorf("cached MarginalsInto allocates %v per run, want 0", n)
+	}
+}

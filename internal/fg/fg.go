@@ -69,6 +69,15 @@ type Factor struct {
 type Graph struct {
 	vars    []*Variable
 	factors []*Factor
+
+	// marg caches P(v = Malicious | evidence) per variable from a single
+	// enumeration of the joint; margValid is cleared whenever the graph
+	// mutates (AddVariable/AddFactor/Invalidate). assign and local are the
+	// enumeration's reused scratch.
+	marg      []float64
+	margValid bool
+	assign    []Outcome
+	local     []Outcome
 }
 
 // New returns an empty graph.
@@ -80,6 +89,7 @@ func New() *Graph {
 func (g *Graph) AddVariable(name string) *Variable {
 	v := &Variable{Name: name, PriorMalicious: 0.5, index: len(g.vars)}
 	g.vars = append(g.vars, v)
+	g.margValid = false
 	return v
 }
 
@@ -87,8 +97,15 @@ func (g *Graph) AddVariable(name string) *Variable {
 func (g *Graph) AddFactor(name string, fn FactorFunc, vars ...*Variable) *Factor {
 	f := &Factor{Name: name, vars: vars, fn: fn}
 	g.factors = append(g.factors, f)
+	g.margValid = false
 	return f
 }
+
+// Invalidate discards cached inference results. Structural mutation
+// (AddVariable/AddFactor) invalidates automatically; call this when the
+// evidence captured inside a factor closure changes without the graph
+// itself changing.
+func (g *Graph) Invalidate() { g.margValid = false }
 
 // Variables returns the graph's variables in insertion order.
 func (g *Graph) Variables() []*Variable {
@@ -98,7 +115,9 @@ func (g *Graph) Variables() []*Variable {
 }
 
 // score evaluates the unnormalized joint probability of a full assignment:
-// the product of the variable priors and every factor.
+// the product of the variable priors and every factor. The per-factor
+// argument slice is graph-owned scratch; factor functions must not retain
+// it past the call.
 func (g *Graph) score(assign []Outcome) float64 {
 	p := 1.0
 	for i, v := range g.vars {
@@ -109,7 +128,7 @@ func (g *Graph) score(assign []Outcome) float64 {
 		}
 	}
 	for _, f := range g.factors {
-		local := make([]Outcome, len(f.vars))
+		local := g.local[:len(f.vars)]
 		for i, v := range f.vars {
 			local[i] = assign[v.index]
 		}
@@ -121,82 +140,108 @@ func (g *Graph) score(assign []Outcome) float64 {
 	return p
 }
 
+// growScratch sizes the enumeration scratch for the current graph shape.
+// Cold path: it allocates only when the graph outgrows its buffers, so
+// the hot compute loop stays allocation-free.
+func (g *Graph) growScratch() {
+	n := len(g.vars)
+	if cap(g.marg) < n {
+		g.marg = make([]float64, n)
+		g.assign = make([]Outcome, n)
+	}
+	maxArity := 0
+	for _, f := range g.factors {
+		if len(f.vars) > maxArity {
+			maxArity = len(f.vars)
+		}
+	}
+	if cap(g.local) < maxArity {
+		g.local = make([]Outcome, maxArity)
+	}
+}
+
+// compute runs one exact enumeration of the joint and caches the
+// per-variable malicious marginals. It walks the 2ⁿ assignments
+// iteratively in the lexicographic order the recursive walk it replaced
+// produced (assignment i is bit n−1−i of the code, Benign before
+// Malicious), so the floating-point accumulation order — and therefore
+// every cached marginal — is bit-identical to the recursive form. A graph
+// whose factors admit no assignment falls back to the priors. The cache
+// survives until the graph mutates; scratch buffers are grown once and
+// reused across recomputations.
+func (g *Graph) compute() {
+	if g.margValid {
+		return
+	}
+	n := len(g.vars)
+	g.growScratch()
+	g.marg = g.marg[:n]
+	for i := range g.marg {
+		g.marg[i] = 0
+	}
+	assign := g.assign[:n]
+	var total float64
+	for code := 0; code < 1<<n; code++ {
+		for i := 0; i < n; i++ {
+			if code&(1<<(n-1-i)) != 0 {
+				assign[i] = Malicious
+			} else {
+				assign[i] = Benign
+			}
+		}
+		s := g.score(assign)
+		total += s
+		for j, a := range assign {
+			if a == Malicious {
+				g.marg[j] += s
+			}
+		}
+	}
+	if floats.Zero(total) {
+		// All assignments scored zero — no factor admits any outcome.
+		// Fall back to the priors.
+		for i, v := range g.vars {
+			g.marg[i] = v.PriorMalicious
+		}
+	} else {
+		for i := range g.marg {
+			g.marg[i] /= total
+		}
+	}
+	g.margValid = true
+}
+
 // Marginal returns P(v = Malicious | evidence) by summing the joint over
 // all assignments (sum-product over the full joint; the diagnosis graphs
 // are small — one variable per physical state of one sensor — so exact
-// enumeration is cheap and exact).
+// enumeration is cheap and exact). The enumeration runs at most once per
+// graph mutation: Marginal, Marginals, and MLE all read the same cache.
 func (g *Graph) Marginal(v *Variable) (float64, error) {
 	if v == nil || v.index >= len(g.vars) || g.vars[v.index] != v {
 		return 0, ErrUnknownVariable
 	}
-	n := len(g.vars)
-	var malicious, total float64
-	assign := make([]Outcome, n)
-	var walk func(i int)
-	walk = func(i int) {
-		if i == n {
-			s := g.score(assign)
-			total += s
-			if assign[v.index] == Malicious {
-				malicious += s
-			}
-			return
-		}
-		assign[i] = Benign
-		walk(i + 1)
-		assign[i] = Malicious
-		walk(i + 1)
-	}
-	walk(0)
-	if floats.Zero(total) {
-		// All assignments scored zero — no factor admits any outcome.
-		// Fall back to the prior.
-		return v.PriorMalicious, nil
-	}
-	return malicious / total, nil
+	g.compute()
+	return g.marg[v.index], nil
 }
 
 // Marginals returns P(v = Malicious | evidence) for every variable in
-// insertion order, from a single enumeration of the joint. Calling
-// Marginal per variable enumerates the 2ⁿ assignments once per variable;
-// this batch form walks them exactly once, which is what the per-sensor
-// diagnosis graphs use to surface all state verdicts in one pass. As in
-// Marginal, a graph whose factors admit no assignment falls back to the
-// priors.
+// insertion order from the shared single-enumeration cache. The slice is
+// freshly allocated and the caller's to keep; hot paths use MarginalsInto.
 func (g *Graph) Marginals() []float64 {
-	n := len(g.vars)
-	malicious := make([]float64, n)
-	var total float64
-	assign := make([]Outcome, n)
-	var walk func(i int)
-	walk = func(i int) {
-		if i == n {
-			s := g.score(assign)
-			total += s
-			for j := range assign {
-				if assign[j] == Malicious {
-					malicious[j] += s
-				}
-			}
-			return
-		}
-		assign[i] = Benign
-		walk(i + 1)
-		assign[i] = Malicious
-		walk(i + 1)
+	out := make([]float64, len(g.vars))
+	return g.MarginalsInto(out)
+}
+
+// MarginalsInto fills dst with P(v = Malicious | evidence) for every
+// variable in insertion order and returns it, allocating nothing. dst
+// must have length len(g.Variables()).
+func (g *Graph) MarginalsInto(dst []float64) []float64 {
+	if len(dst) != len(g.vars) {
+		panic(fmt.Sprintf("fg: MarginalsInto destination length %d != %d variables", len(dst), len(g.vars)))
 	}
-	walk(0)
-	out := make([]float64, n)
-	if floats.Zero(total) {
-		for i, v := range g.vars {
-			out[i] = v.PriorMalicious
-		}
-		return out
-	}
-	for i := range out {
-		out[i] = malicious[i] / total
-	}
-	return out
+	g.compute()
+	copy(dst, g.marg)
+	return dst
 }
 
 // MLE returns the maximum-likelihood outcome for v given the evidence

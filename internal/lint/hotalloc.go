@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotallocConfig declares the module's hot functions — the ones on the
+// steady-state per-tick path whose execution must not allocate.
+type HotallocConfig struct {
+	// MatPath is the import path of the matrix package whose allocating
+	// API is forbidden inside hot functions (each allocating call has an
+	// in-place *Into twin).
+	MatPath string
+	// Hot maps a package import path to the names of its hot functions
+	// and methods.
+	Hot map[string][]string
+}
+
+// Hotalloc returns the hotalloc analyzer: inside a declared hot function,
+// calls to the mat package's allocating constructors/solvers, calls to
+// its allocating value-returning methods, and the make builtin are all
+// forbidden — they allocate on every tick and regress the zero-allocation
+// steady state. The sanctioned form is a workspace preallocated in the
+// type's constructor plus the *Into kernels. append is deliberately not
+// flagged: appends into capacity-retaining reused buffers are amortized
+// allocation-free and are the idiom for variable-length scratch.
+//
+// One-time lazy allocations must live in a non-hot helper (e.g. the
+// filter's refreshDT), which also documents them as cold-path.
+func Hotalloc(cfg HotallocConfig) *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc: "forbid allocation in declared hot functions: no make and no " +
+			"allocating " + cfg.MatPath + " calls; preallocate workspace in the " +
+			"constructor and use the *Into kernels",
+		Run: func(pass *Pass) { runHotalloc(pass, cfg) },
+	}
+}
+
+// hotallocFuncs are the mat package's allocating package-level
+// constructors and solvers.
+var hotallocFuncs = map[string]bool{
+	"New":      true,
+	"NewVec":   true,
+	"NewLU":    true,
+	"Identity": true,
+	"Diag":     true,
+	"FromRows": true,
+	"Solve":    true,
+	"SolveMat": true,
+	"Inverse":  true,
+	"FactorLU": true,
+}
+
+// hotallocMethods are the allocating value-returning methods on the mat
+// package's types; each has an allocation-free *Into twin.
+var hotallocMethods = map[string]bool{
+	"Mul":        true,
+	"MulVec":     true,
+	"Add":        true,
+	"Sub":        true,
+	"Scale":      true,
+	"T":          true,
+	"Clone":      true,
+	"Symmetrize": true,
+	"SolveVec":   true,
+}
+
+func runHotalloc(pass *Pass, cfg HotallocConfig) {
+	hot := cfg.Hot[pass.Pkg.Path]
+	if len(hot) == 0 {
+		return
+	}
+	hotSet := make(map[string]bool, len(hot))
+	for _, name := range hot {
+		hotSet[name] = true
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotSet[fd.Name.Name] {
+				continue
+			}
+			checkHotFunc(pass, cfg, fd)
+		}
+	}
+}
+
+// checkHotFunc walks one hot function's body, including any function
+// literals inside it — they execute on the hot path too.
+func checkHotFunc(pass *Pass, cfg HotallocConfig, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if b, ok := pass.Pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "make" {
+				pass.Reportf(call.Pos(),
+					"make in hot function %s allocates every call; preallocate the buffer in the constructor and reuse it",
+					fd.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != cfg.MatPath {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if sig.Recv() != nil {
+				if hotallocMethods[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"allocating mat method %s in hot function %s; use the in-place %sInto kernel with a workspace destination",
+						fn.Name(), fd.Name.Name, intoName(fn.Name()))
+				}
+			} else if hotallocFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"allocating mat call %s in hot function %s; preallocate in the constructor and reuse the workspace",
+					fn.Name(), fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// intoName maps an allocating method name to its *Into kernel for the
+// diagnostic's suggested fix.
+func intoName(method string) string {
+	switch method {
+	case "T":
+		return "Transpose"
+	case "SolveVec":
+		return "SolveVec"
+	default:
+		return method
+	}
+}

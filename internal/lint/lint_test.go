@@ -125,6 +125,17 @@ func TestErrDropGolden(t *testing.T) {
 	runGolden(t, "errdrop", ErrDrop(modulePath+"/internal/"))
 }
 
+func TestHotallocGolden(t *testing.T) {
+	runGolden(t, "hotalloc", Hotalloc(HotallocConfig{
+		MatPath: modulePath + "/internal/mat",
+		Hot: map[string][]string{
+			modulePath + "/internal/lint/testdata/hotalloc": {
+				"tick", "tickfn", "tick2",
+			},
+		},
+	}))
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, "determinism", Determinism(DeterminismConfig{
 		Restricted: []string{modulePath + "/internal/lint/testdata/determinism"},
@@ -140,7 +151,7 @@ func TestIgnoreDirectives(t *testing.T) {
 }
 
 func TestDefaultAnalyzers(t *testing.T) {
-	want := []string{"floatcmp", "stateindex", "exhaustive", "errdrop", "determinism"}
+	want := []string{"floatcmp", "stateindex", "exhaustive", "errdrop", "hotalloc", "determinism"}
 	azs := DefaultAnalyzers()
 	if len(azs) != len(want) {
 		t.Fatalf("DefaultAnalyzers returned %d analyzers, want %d", len(azs), len(want))

@@ -30,6 +30,7 @@ func DefaultAnalyzers() []*Analyzer {
 			},
 		}),
 		ErrDrop(modulePath + "/internal/"),
+		Hotalloc(defaultHotalloc()),
 		Determinism(DeterminismConfig{
 			Restricted: []string{
 				modulePath + "/internal/sim",
@@ -41,6 +42,27 @@ func DefaultAnalyzers() []*Analyzer {
 			},
 			ClockPath: clockPath,
 		}),
+	}
+}
+
+// defaultHotalloc declares the repository's zero-allocation hot set: the
+// per-tick EKF cycle, the factor-graph inference cache, and the
+// checkpoint recording path. Cold one-time growth lives in helpers kept
+// off this list (ekf.refreshDT, fg.growScratch).
+func defaultHotalloc() HotallocConfig {
+	return HotallocConfig{
+		MatPath: modulePath + "/internal/mat",
+		Hot: map[string][]string{
+			modulePath + "/internal/ekf": {
+				"Predict", "PredictHybrid", "Correct", "propagateCovariance",
+			},
+			modulePath + "/internal/fg": {
+				"score", "compute", "Marginal", "MarginalsInto", "MLE",
+			},
+			modulePath + "/internal/checkpoint": {
+				"Record", "RecordInput",
+			},
+		},
 	}
 }
 

@@ -1,0 +1,42 @@
+// Package hotalloc is golden-test input for the hotalloc analyzer: tick,
+// tickfn, and tick2 are declared hot in the test's config; cold is not.
+package hotalloc
+
+import "repro/internal/mat"
+
+type filter struct {
+	p   *mat.Mat
+	ws  *mat.Mat
+	buf []float64
+}
+
+// tick is declared hot: every allocating call below must be flagged.
+func (f *filter) tick(fj *mat.Mat) {
+	tmp := mat.New(12, 12) // want "allocating mat call New in hot function tick"
+	_ = tmp
+	f.p = fj.Mul(f.p)              // want "allocating mat method Mul in hot function tick"
+	f.p = f.p.T()                  // want "TransposeInto kernel"
+	scratch := make([]float64, 12) // want "make in hot function tick"
+	_ = scratch
+	mat.MulInto(f.ws, fj, f.p)     // in-place kernels are the sanctioned form
+	f.buf = append(f.buf[:0], 1.0) // append into a reused buffer is fine
+}
+
+// tickfn covers function literals: they run on the hot path too.
+func (f *filter) tickfn() {
+	g := func() {
+		_ = mat.NewVec(3) // want "allocating mat call NewVec in hot function tickfn"
+	}
+	g()
+}
+
+// tick2 covers allocating methods on the Vec type.
+func (f *filter) tick2(v mat.Vec) mat.Vec {
+	return v.Add(v) // want "allocating mat method Add in hot function tick2"
+}
+
+// cold is not in the hot list: the same calls pass unremarked.
+func (f *filter) cold() {
+	f.p = mat.Identity(12).Scale(0.1)
+	_ = make([]float64, 4)
+}

@@ -21,22 +21,52 @@ func SolveDARE(a, b, q, r *Mat, maxIter int, tol float64) (*Mat, error) {
 		r.Rows != b.Cols || r.Cols != b.Cols {
 		return nil, ErrDimensionMismatch
 	}
+	nu := b.Cols
 	at := a.T()
 	bt := b.T()
 	p := q.Clone()
+	// The fixed-point loop runs thousands of iterations; every product is
+	// written into a preallocated workspace so the whole solve performs a
+	// constant number of allocations. Bᵀ·P and Aᵀ·P are each computed once
+	// per iteration and reused — the reused product is bit-identical to
+	// recomputing it, and every kernel below preserves the accumulation
+	// order of the allocating expression it replaced.
+	next := New(n, n)
+	btp := New(nu, n)   // Bᵀ P
+	btpb := New(nu, nu) // Bᵀ P B
+	s := New(nu, nu)    // R + Bᵀ P B
+	btpa := New(nu, n)  // Bᵀ P A
+	m := New(nu, n)     // S⁻¹ Bᵀ P A
+	atp := New(n, n)    // Aᵀ P
+	atpa := New(n, n)   // Aᵀ P A, then the full un-symmetrized update
+	atpb := New(n, nu)  // Aᵀ P B
+	atpbm := New(n, n)  // Aᵀ P B M
+	lu := NewLU(nu)
 	for iter := 0; iter < maxIter; iter++ {
 		// S = R + Bᵀ P B
-		s := r.Add(bt.Mul(p).Mul(b))
+		MulInto(btp, bt, p)
+		MulInto(btpb, btp, b)
+		AddInto(s, r, btpb)
 		// M = S⁻¹ Bᵀ P A
-		m, err := SolveMat(s, bt.Mul(p).Mul(a))
-		if err != nil {
+		MulInto(btpa, btp, a)
+		if err := lu.Refactor(s); err != nil {
 			return nil, fmt.Errorf("riccati step %d: %w", iter, err)
 		}
-		next := at.Mul(p).Mul(a).Sub(at.Mul(p).Mul(b).Mul(m)).Add(q).Symmetrize()
+		if err := lu.SolveInto(m, btpa); err != nil {
+			return nil, fmt.Errorf("riccati step %d: %w", iter, err)
+		}
+		// next = sym(Aᵀ P A − Aᵀ P B M + Q)
+		MulInto(atp, at, p)
+		MulInto(atpa, atp, a)
+		MulInto(atpb, atp, b)
+		MulInto(atpbm, atpb, m)
+		SubInto(atpa, atpa, atpbm)
+		AddInto(atpa, atpa, q)
+		SymmetrizeInto(next, atpa)
 		if next.MaxAbsDiff(p) < tol {
 			return next, nil
 		}
-		p = next
+		p, next = next, p
 	}
 	return nil, ErrNoConvergence
 }

@@ -1,0 +1,161 @@
+// In-place kernels for the hot path. Every allocating operation on Mat
+// (Mul, Add, Sub, Scale, T, Clone, Symmetrize, MulVec) has an *Into twin
+// here that writes into a caller-owned destination instead of allocating
+// a fresh matrix. The allocating methods are thin wrappers over these
+// kernels, so both paths share one arithmetic implementation and produce
+// bit-identical results — the determinism contract the experiment suite
+// is gated on.
+//
+// # Aliasing rules
+//
+// The kernels distinguish element-wise operations, where the destination
+// may alias an operand (each output element depends only on the same
+// input element), from operations with cross-element data flow, where
+// aliasing would silently corrupt the result:
+//
+//   - AddInto, SubInto, ScaleInto, CloneInto: dst may alias any operand.
+//   - MulInto, MulVecInto, TransposeInto, SymmetrizeInto: dst must not
+//     alias an input; the kernel panics if it does.
+//
+// Aliasing is detected by comparing backing arrays. The package has no
+// sub-matrix views, so two matrices either share their whole backing
+// array or none of it — a first-element address comparison is exact.
+package mat
+
+import "repro/internal/floats"
+
+// sharesBacking reports whether two float64 slices share a backing array.
+// With no sub-slice views in this package, sharing is all-or-nothing, so
+// comparing the first elements' addresses is an exact test.
+func sharesBacking(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// mustShape panics unless m is rows×cols.
+func (m *Mat) mustShape(rows, cols int, op string) {
+	if m.Rows != rows || m.Cols != cols {
+		panic("mat: " + op + " destination shape mismatch")
+	}
+}
+
+// mustNotAlias panics when dst shares storage with src.
+func mustNotAlias(dst, src *Mat, op string) {
+	if sharesBacking(dst.Data, src.Data) {
+		panic("mat: " + op + " destination aliases an operand")
+	}
+}
+
+// Zero sets every element of m to zero in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulInto computes dst = a·b. dst must be a.Rows×b.Cols and must not
+// alias a or b.
+func MulInto(dst, a, b *Mat) {
+	if a.Cols != b.Rows {
+		panic("mat: MulInto operand shape mismatch")
+	}
+	dst.mustShape(a.Rows, b.Cols, "MulInto")
+	mustNotAlias(dst, a, "MulInto")
+	mustNotAlias(dst, b, "MulInto")
+	dst.Zero()
+	ac, bc := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*ac : i*ac+ac]
+		drow := dst.Data[i*bc : i*bc+bc]
+		for k, v := range arow {
+			if floats.Zero(v) {
+				continue
+			}
+			brow := b.Data[k*bc : k*bc+bc]
+			for j, bv := range brow {
+				drow[j] += v * bv
+			}
+		}
+	}
+}
+
+// MulVecInto computes dst = m·v. dst must have length m.Rows and must not
+// alias v.
+func MulVecInto(dst Vec, m *Mat, v Vec) {
+	if m.Cols != len(v) {
+		panic("mat: MulVecInto operand shape mismatch")
+	}
+	if len(dst) != m.Rows {
+		panic("mat: MulVecInto destination length mismatch")
+	}
+	if sharesBacking(dst, v) {
+		panic("mat: MulVecInto destination aliases the operand")
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// AddInto computes dst = a + b element-wise. dst may alias a and/or b.
+func AddInto(dst, a, b *Mat) {
+	a.mustSameShape(b, "AddInto")
+	dst.mustShape(a.Rows, a.Cols, "AddInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SubInto computes dst = a − b element-wise. dst may alias a and/or b.
+func SubInto(dst, a, b *Mat) {
+	a.mustSameShape(b, "SubInto")
+	dst.mustShape(a.Rows, a.Cols, "SubInto")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// ScaleInto computes dst = s·a element-wise. dst may alias a.
+func ScaleInto(dst *Mat, s float64, a *Mat) {
+	dst.mustShape(a.Rows, a.Cols, "ScaleInto")
+	for i := range dst.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+}
+
+// CloneInto copies src into dst. dst may alias src (a self-copy is a
+// no-op).
+func CloneInto(dst, src *Mat) {
+	dst.mustShape(src.Rows, src.Cols, "CloneInto")
+	copy(dst.Data, src.Data)
+}
+
+// TransposeInto computes dst = aᵀ. dst must be a.Cols×a.Rows and must not
+// alias a.
+func TransposeInto(dst, a *Mat) {
+	dst.mustShape(a.Cols, a.Rows, "TransposeInto")
+	mustNotAlias(dst, a, "TransposeInto")
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+}
+
+// SymmetrizeInto computes dst = (a + aᵀ)/2. a must be square; dst must
+// match its shape and must not alias a.
+func SymmetrizeInto(dst, a *Mat) {
+	if a.Rows != a.Cols {
+		panic("mat: SymmetrizeInto on non-square matrix")
+	}
+	dst.mustShape(a.Rows, a.Cols, "SymmetrizeInto")
+	mustNotAlias(dst, a, "SymmetrizeInto")
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			dst.Set(i, j, 0.5*(a.At(i, j)+a.At(j, i)))
+		}
+	}
+}

@@ -10,21 +10,50 @@ import (
 var ErrSingular = errors.New("mat: matrix is singular")
 
 // LU holds an LU factorization with partial pivoting of a square matrix.
+// A zero LU is a valid empty workspace: Refactor grows its buffers on
+// first use and reuses them afterwards, so repeated factorizations of
+// same-sized systems allocate nothing.
 type LU struct {
 	lu   *Mat
 	piv  []int
 	sign int
+
+	// col and x are SolveInto's per-column scratch, grown on first use.
+	col Vec
+	x   Vec
+}
+
+// NewLU returns a preallocated factorization workspace for n×n systems.
+func NewLU(n int) *LU {
+	return &LU{lu: New(n, n), piv: make([]int, n), col: NewVec(n), x: NewVec(n)}
 }
 
 // FactorLU computes the LU factorization of a square matrix a with partial
 // pivoting. It returns ErrSingular when a pivot underflows.
 func FactorLU(a *Mat) (*LU, error) {
+	f := &LU{}
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor computes the LU factorization of a into the existing
+// workspace, reusing its buffers when a matches their size. It is the
+// allocation-free twin of FactorLU for hot paths that repeatedly solve
+// same-sized systems. The arithmetic is identical to FactorLU's, so both
+// paths produce bit-identical factors.
+func (f *LU) Refactor(a *Mat) error {
 	if a.Rows != a.Cols {
-		return nil, ErrDimensionMismatch
+		return ErrDimensionMismatch
 	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || f.lu.Rows != n || f.lu.Cols != n {
+		f.lu = New(n, n)
+		f.piv = make([]int, n)
+	}
+	lu, piv := f.lu, f.piv
+	CloneInto(lu, a)
 	for i := range piv {
 		piv[i] = i
 	}
@@ -41,7 +70,7 @@ func FactorLU(a *Mat) (*LU, error) {
 			}
 		}
 		if max < 1e-14 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -50,66 +79,102 @@ func FactorLU(a *Mat) (*LU, error) {
 			piv[p], piv[k] = piv[k], piv[p]
 			sign = -sign
 		}
-		pivot := lu.At(k, k)
+		pivot := lu.Data[k*n+k]
+		rowk := lu.Data[k*n+k+1 : k*n+n]
 		for i := k + 1; i < n; i++ {
-			m := lu.At(i, k) / pivot
-			lu.Set(i, k, m)
-			for j := k + 1; j < n; j++ {
-				lu.Set(i, j, lu.At(i, j)-m*lu.At(k, j))
+			rowi := lu.Data[i*n+k : i*n+n]
+			m := rowi[0] / pivot
+			rowi[0] = m
+			for j, ukj := range rowk {
+				rowi[1+j] -= m * ukj
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // SolveVec solves a·x = b for x using the factorization.
 func (f *LU) SolveVec(b Vec) (Vec, error) {
-	n := f.lu.Rows
-	if len(b) != n {
-		return nil, ErrDimensionMismatch
+	x := NewVec(f.lu.Rows)
+	if err := f.SolveVecInto(x, b); err != nil {
+		return nil, err
 	}
-	x := NewVec(n)
+	return x, nil
+}
+
+// SolveVecInto solves a·x = b into dst. dst must have length n and must
+// not alias b (the permutation reads b at arbitrary indices while dst is
+// written).
+func (f *LU) SolveVecInto(dst, b Vec) error {
+	n := f.lu.Rows
+	if len(b) != n || len(dst) != n {
+		return ErrDimensionMismatch
+	}
+	if sharesBacking(dst, b) {
+		panic("mat: SolveVecInto destination aliases the right-hand side")
+	}
+	x := dst
+	lu := f.lu.Data
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
 	// Forward substitution (L has an implicit unit diagonal).
 	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			x[i] -= f.lu.At(i, j) * x[j]
+		row := lu[i*n : i*n+i]
+		xi := x[i]
+		for j, lij := range row {
+			xi -= lij * x[j]
 		}
+		x[i] = xi
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
-		for j := i + 1; j < n; j++ {
-			x[i] -= f.lu.At(i, j) * x[j]
+		row := lu[i*n+i+1 : i*n+n]
+		xi := x[i]
+		for j, uij := range row {
+			xi -= uij * x[i+1+j]
 		}
-		x[i] /= f.lu.At(i, i)
+		x[i] = xi / lu[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Solve solves a·X = B column by column.
 func (f *LU) Solve(b *Mat) (*Mat, error) {
-	n := f.lu.Rows
-	if b.Rows != n {
-		return nil, ErrDimensionMismatch
-	}
-	out := New(n, b.Cols)
-	col := NewVec(n)
-	for j := 0; j < b.Cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
-		}
-		x, err := f.SolveVec(col)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			out.Set(i, j, x[i])
-		}
+	out := New(f.lu.Rows, b.Cols)
+	if err := f.SolveInto(out, b); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SolveInto solves a·X = B into dst column by column, reusing the
+// workspace's column scratch. dst must be n×B.Cols and must not alias b.
+func (f *LU) SolveInto(dst, b *Mat) error {
+	n := f.lu.Rows
+	if b.Rows != n || dst.Rows != n || dst.Cols != b.Cols {
+		return ErrDimensionMismatch
+	}
+	mustNotAlias(dst, b, "SolveInto")
+	if len(f.col) != n {
+		f.col = NewVec(n)
+		f.x = NewVec(n)
+	}
+	bc, dc := b.Cols, dst.Cols
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			f.col[i] = b.Data[i*bc+j]
+		}
+		if err := f.SolveVecInto(f.x, f.col); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst.Data[i*dc+j] = f.x[i]
+		}
+	}
+	return nil
 }
 
 // Solve solves a·x = b for a square matrix a.

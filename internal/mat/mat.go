@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-
-	"repro/internal/floats"
 )
 
 // Mat is a dense row-major matrix.
@@ -69,18 +67,14 @@ func (m *Mat) Set(i, j int, v float64) {
 // Clone returns a deep copy of m.
 func (m *Mat) Clone() *Mat {
 	out := New(m.Rows, m.Cols)
-	copy(out.Data, m.Data)
+	CloneInto(out, m)
 	return out
 }
 
 // T returns the transpose of m.
 func (m *Mat) T() *Mat {
 	out := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			out.Set(j, i, m.At(i, j))
-		}
-	}
+	TransposeInto(out, m)
 	return out
 }
 
@@ -88,9 +82,7 @@ func (m *Mat) T() *Mat {
 func (m *Mat) Add(b *Mat) *Mat {
 	m.mustSameShape(b, "Add")
 	out := New(m.Rows, m.Cols)
-	for i := range m.Data {
-		out.Data[i] = m.Data[i] + b.Data[i]
-	}
+	AddInto(out, m, b)
 	return out
 }
 
@@ -98,18 +90,14 @@ func (m *Mat) Add(b *Mat) *Mat {
 func (m *Mat) Sub(b *Mat) *Mat {
 	m.mustSameShape(b, "Sub")
 	out := New(m.Rows, m.Cols)
-	for i := range m.Data {
-		out.Data[i] = m.Data[i] - b.Data[i]
-	}
+	SubInto(out, m, b)
 	return out
 }
 
 // Scale returns s * m.
 func (m *Mat) Scale(s float64) *Mat {
 	out := New(m.Rows, m.Cols)
-	for i := range m.Data {
-		out.Data[i] = s * m.Data[i]
-	}
+	ScaleInto(out, s, m)
 	return out
 }
 
@@ -119,17 +107,7 @@ func (m *Mat) Mul(b *Mat) *Mat {
 		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := New(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		for k := 0; k < m.Cols; k++ {
-			a := m.At(i, k)
-			if floats.Zero(a) {
-				continue
-			}
-			for j := 0; j < b.Cols; j++ {
-				out.Data[i*out.Cols+j] += a * b.At(k, j)
-			}
-		}
-	}
+	MulInto(out, m, b)
 	return out
 }
 
@@ -139,14 +117,7 @@ func (m *Mat) MulVec(v Vec) Vec {
 		panic(fmt.Sprintf("mat: MulVec %dx%d by %d", m.Rows, m.Cols, len(v)))
 	}
 	out := NewVec(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var s float64
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, a := range row {
-			s += a * v[j]
-		}
-		out[i] = s
-	}
+	MulVecInto(out, m, v)
 	return out
 }
 
@@ -157,11 +128,7 @@ func (m *Mat) Symmetrize() *Mat {
 		panic("mat: Symmetrize on non-square matrix")
 	}
 	out := New(m.Rows, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			out.Set(i, j, 0.5*(m.At(i, j)+m.At(j, i)))
-		}
-	}
+	SymmetrizeInto(out, m)
 	return out
 }
 

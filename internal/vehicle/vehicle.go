@@ -64,6 +64,16 @@ func (s State) Vec() []float64 {
 	}
 }
 
+// VecInto flattens the state into dst in the canonical 12-vector order
+// without allocating. dst must have length 12.
+func (s State) VecInto(dst []float64) {
+	_ = dst[11]
+	dst[0], dst[1], dst[2] = s.X, s.Y, s.Z
+	dst[3], dst[4], dst[5] = s.VX, s.VY, s.VZ
+	dst[6], dst[7], dst[8] = s.Roll, s.Pitch, s.Yaw
+	dst[9], dst[10], dst[11] = s.WRoll, s.WPitch, s.WYaw
+}
+
 // StateFromVec rebuilds a State from the canonical 12-vector order.
 func StateFromVec(v []float64) State {
 	return State{

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# bench_compare.sh — before/after evidence for the zero-allocation hot path.
+#
+# Checks out the last pre-optimization commit into a throwaway git worktree,
+# copies the portable benchmark files in (they use only public API that
+# exists in both trees; the allocation-budget tests do not and are NOT
+# copied), runs the same benchmark set in both trees with -benchmem, and
+# byte-compares a reduced `cmd/experiments` run between the trees — the
+# optimization must not change a single output byte. Results land in
+# BENCH_PR4.json: ns/op, B/op, allocs/op per benchmark for both trees, the
+# speedup ratio, and the outputs_identical verdict.
+#
+# Env knobs:
+#   BEFORE_REF  git ref of the pre-optimization tree (default: the last
+#               commit before the hot-path PR)
+#   OUT         output JSON path (default: BENCH_PR4.json)
+#   BENCHTIME   -benchtime passed to go test (default: 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+BEFORE_REF="${BEFORE_REF:-ef1a557}"
+OUT="${OUT:-BENCH_PR4.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH='^(BenchmarkMissionShort|BenchmarkTick|BenchmarkEKFPredict|BenchmarkEKFPredictHybrid|BenchmarkEKFCorrect|BenchmarkFGMarginals|BenchmarkFGMarginalAllVars)$'
+PKGS=(./. ./internal/core/ ./internal/ekf/ ./internal/fg/)
+PORTABLE=(bench_hotpath_test.go internal/ekf/bench_test.go internal/fg/bench_test.go internal/core/bench_test.go)
+
+wt="$(mktemp -d /tmp/bench_before.XXXXXX)"
+after_txt="$(mktemp /tmp/bench_after.XXXXXX)"
+exp_after_md="$(mktemp /tmp/exp_after_md.XXXXXX)"
+exp_after_js="$(mktemp /tmp/exp_after_js.XXXXXX)"
+cleanup() {
+    git worktree remove --force "$wt" >/dev/null 2>&1 || true
+    rm -rf "$wt" "$after_txt" "$exp_after_md" "$exp_after_js"
+}
+trap cleanup EXIT
+rmdir "$wt"
+
+echo "== before worktree: $BEFORE_REF =="
+git worktree add --detach "$wt" "$BEFORE_REF" >/dev/null
+for f in "${PORTABLE[@]}"; do
+    cp "$f" "$wt/$f"
+done
+
+before_txt="$wt/bench_before.txt"
+echo "== benchmarks: before ($BEFORE_REF) =="
+(cd "$wt" && go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" "${PKGS[@]}") |
+    grep '^Benchmark' | tee "$before_txt"
+echo "== benchmarks: after (working tree) =="
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" "${PKGS[@]}" |
+    grep '^Benchmark' | tee "$after_txt"
+if [ ! -s "$before_txt" ] || [ ! -s "$after_txt" ]; then
+    echo "FAIL: a benchmark run produced no results" >&2
+    exit 1
+fi
+
+echo "== byte-identity: reduced experiment run in both trees =="
+(cd "$wt" && go run ./cmd/experiments -exp all -missions 2 -seed 1 -workers 1 \
+    -out "$wt/exp_before.md" -report "$wt/exp_before.json")
+go run ./cmd/experiments -exp all -missions 2 -seed 1 -workers 1 \
+    -out "$exp_after_md" -report "$exp_after_js"
+identical=true
+cmp -s "$wt/exp_before.md" "$exp_after_md" || identical=false
+cmp -s "$wt/exp_before.json" "$exp_after_js" || identical=false
+echo "outputs_identical: $identical"
+
+awk -v before="$before_txt" -v after="$after_txt" \
+    -v ident="$identical" -v bref="$BEFORE_REF" \
+    -v aref="$(git describe --always --dirty)" -v benchtime="$BENCHTIME" '
+function basename_bench(n) { sub(/-[0-9]+$/, "", n); return n }
+function load(file, ns, bb, al,    line, f, n) {
+    while ((getline line < file) > 0) {
+        split(line, f, /[ \t]+/)
+        n = basename_bench(f[1])
+        ns[n] = f[3]; bb[n] = f[5]; al[n] = f[7]
+        if (!(n in seen)) { seen[n] = 1; order[++cnt] = n }
+    }
+    close(file)
+}
+BEGIN {
+    load(before, bns, bbb, bal)
+    load(after, ans, abb, aal)
+    printf "{\n"
+    printf "  \"before_ref\": \"%s\",\n", bref
+    printf "  \"after_ref\": \"%s\",\n", aref
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"outputs_identical\": %s,\n", ident
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= cnt; i++) {
+        n = order[i]
+        printf "    \"%s\": {\n", n
+        printf "      \"before\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", bns[n], bbb[n], bal[n]
+        printf "      \"after\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n", ans[n], abb[n], aal[n]
+        printf "      \"speedup\": %.2f\n", bns[n] / ans[n]
+        printf "    }%s\n", (i < cnt ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' >"$OUT"
+
+echo "== $OUT =="
+cat "$OUT"
+if [ "$identical" != true ]; then
+    echo "FAIL: optimized tree changed experiment output bytes" >&2
+    exit 1
+fi
