@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race race-runner check bench bench-baseline
+.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate
 
 all: check
 
@@ -27,11 +27,16 @@ race-runner:
 	$(GO) test -race -timeout 1800s ./internal/runner
 	$(GO) test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight|TestReportDeterminism' ./internal/experiments
 
+# Pipeline-equivalence gate: reduced experiment suite vs the committed
+# pre-refactor golden snapshot, at workers=1 and N.
+equiv-gate:
+	sh scripts/equiv_gate.sh
+
 check:
 	sh scripts/check.sh
 
-# Before/after hot-path benchmark comparison against the pre-optimization
-# tree (git worktree), plus the byte-identity check; writes BENCH_PR4.json.
+# Before/after hot-path benchmark comparison against the pre-refactor
+# tree (git worktree), plus the byte-identity check; writes BENCH_PR5.json.
 # See scripts/bench_compare.sh for the BEFORE_REF/BENCHTIME knobs.
 bench:
 	bash scripts/bench_compare.sh

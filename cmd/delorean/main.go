@@ -132,20 +132,11 @@ func run(rv, defense, attackList string, attackStart, attackDur float64, stealth
 }
 
 func parseStrategy(s string) (core.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "none":
-		return core.StrategyNone, nil
-	case "delorean":
-		return core.StrategyDeLorean, nil
-	case "lqr-o", "lqro":
-		return core.StrategyLQRO, nil
-	case "ssr":
-		return core.StrategySSR, nil
-	case "pid-piper", "pidpiper":
-		return core.StrategyPIDPiper, nil
-	default:
+	strategy, ok := core.StrategyByName(s)
+	if !ok {
 		return 0, fmt.Errorf("unknown defense %q", s)
 	}
+	return strategy, nil
 }
 
 func parsePath(s string) (mission.PathKind, error) {

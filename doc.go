@@ -1,11 +1,13 @@
 // Package repro is a from-scratch Go reproduction of "Diagnosis-guided
 // Attack Recovery for Securing Robotic Vehicles from Sensor Deception
-// Attacks" (the DeLorean framework): attack detection, factor-graph
-// attack diagnosis, historic-states checkpointing, state reconstruction,
-// and targeted LQR attack recovery for simulated quadcopters and ground
-// rovers, together with the paper's baselines (SSR, PID-Piper, LQR-O) and
-// a benchmark harness that regenerates every table and figure of the
-// paper's evaluation.
+// Attacks" (the DeLorean framework): a staged defense pipeline — attack
+// detection, factor-graph attack diagnosis, historic-states
+// checkpointing, state reconstruction, targeted LQR attack recovery, and
+// a recovery-exit monitor, wired by an explicit recovery-mode FSM — for
+// simulated quadcopters and ground rovers. The paper's baselines (SSR,
+// PID-Piper, LQR-O) are alternative stage compositions in the same
+// pipeline, and a benchmark harness regenerates every table and figure
+// of the paper's evaluation.
 //
 // See README.md for a map of the packages, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for

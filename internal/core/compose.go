@@ -1,0 +1,64 @@
+package core
+
+// The registered strategy compositions. Each function is the whole
+// definition of one defense strategy: which triage, reconstruction,
+// recovery-control, and exit stages fly it, and which episode-shape
+// flags apply. The tick path (pipeline.go) dispatches through the
+// resulting Composition and never branches on the Strategy value.
+
+// composeNone is the undefended baseline: no triage stage, so alerts are
+// recorded (detection latency is a detector property, not a recovery
+// property) but never acted on.
+func composeNone(p *Pipeline) Composition {
+	return Composition{}
+}
+
+// composeDeLorean is the paper's contribution: diagnosis-guided targeted
+// isolation, hybrid checkpoint reconstruction, autopilot-or-LQR recovery,
+// with the settling union window and per-sensor re-validation.
+func composeDeLorean(p *Pipeline) Composition {
+	return Composition{
+		Diagnose:    targetedTriage{techniqueTriage{p}},
+		Reconstruct: hybridReconstruct{p},
+		Recover:     targetedRecovery{p},
+		Exit:        subsidenceExit{p},
+		Revalidate:  true,
+		UnionWindow: true,
+	}
+}
+
+// composeLQRO is Zhang et al.'s worst-case checkpoint recovery: isolate
+// everything, roll the model forward open-loop, fly the conservative LQR.
+func composeLQRO(p *Pipeline) Composition {
+	return Composition{
+		Diagnose:    worstCaseTriage{techniqueTriage{p}},
+		Reconstruct: rollForwardReconstruct{p},
+		Recover:     conservativeRecovery{p},
+		Exit:        subsidenceExit{p},
+	}
+}
+
+// composeSSR is Choi et al.'s software-sensor recovery: tolerate (isolate
+// nothing), anchor the approximate model at the current estimate, fly on
+// virtual sensors.
+func composeSSR(p *Pipeline) Composition {
+	return Composition{
+		Diagnose:        toleratingTriage{techniqueTriage{p}},
+		Reconstruct:     anchorCurrent{p},
+		Recover:         virtualSensorRecovery{p},
+		Exit:            subsidenceExit{p},
+		VirtualBelieved: true,
+	}
+}
+
+// composePIDPiper is Dash et al.'s feed-forward-controller recovery:
+// tolerate, anchor the exact model at the current estimate, blend
+// feed-forward with the attacked feedback.
+func composePIDPiper(p *Pipeline) Composition {
+	return Composition{
+		Diagnose:    toleratingTriage{techniqueTriage{p}},
+		Reconstruct: anchorCurrent{p},
+		Recover:     ffcRecovery{p},
+		Exit:        subsidenceExit{p},
+	}
+}

@@ -4,7 +4,7 @@
 // made the reported CPU overhead a measurement of this Go substrate's
 // scheduler noise rather than of the defense design (recorded runs showed
 // 15–75 % for what the paper reports as 5.5–9.2 %), and made experiment
-// output irreproducible byte-for-byte. The framework now charges each
+// output irreproducible byte-for-byte. The pipeline now charges each
 // control-loop stage a fixed nominal cost in nanoseconds on a reference
 // flight controller (a ~1 GHz class autopilot board running a 100 Hz
 // loop, the paper's Pixhawk setting). The per-tick constants are frozen
@@ -17,6 +17,10 @@
 // *workload mix* — alerts, diagnosis passes, reconstructions, recovery
 // episodes — moves the overhead, which is the paper's Table 3 claim, and
 // the output is deterministic for a given seed at any worker count.
+//
+// Every charge is keyed by the telemetry.Stage identity that also names
+// FSM transition causes and run-report columns, so the cost model's stage
+// vocabulary cannot drift from the pipeline's.
 package core
 
 import "repro/internal/telemetry"
@@ -57,48 +61,40 @@ const (
 	costRecoveryMonitorNS = 2_000
 )
 
+// charge accrues ns modeled nanoseconds against the named pipeline stage.
+func (p *Pipeline) charge(st telemetry.Stage, ns int64) {
+	p.stages.AddNS(st, ns)
+}
+
 // chargeTick accrues the every-tick costs: the undefended loop floor and
 // the always-on defense front end (shadow, detector, diagnosis
 // observation, checkpointing).
-func (f *Framework) chargeTick() {
-	f.stages.BaseLoop += costBaseLoopNS
-	f.stages.Fusion += costFusionNS
-	f.stages.Control += costControlNS
-	f.stages.Shadow += costShadowNS
-	f.stages.Detect += costDetectNS
-	f.stages.Observe += costObserveNS
-	f.stages.Checkpoint += costCheckpointNS
+func (p *Pipeline) chargeTick() {
+	p.charge(telemetry.StageBaseLoop, costBaseLoopNS)
+	p.charge(telemetry.StageFusion, costFusionNS)
+	p.charge(telemetry.StageControl, costControlNS)
+	p.charge(telemetry.StageShadow, costShadowNS)
+	p.charge(telemetry.StageDetect, costDetectNS)
+	p.charge(telemetry.StageObserve, costObserveNS)
+	p.charge(telemetry.StageCheckpoint, costCheckpointNS)
 }
 
 // chargeDiagnosis accrues one diagnosis inference pass.
-func (f *Framework) chargeDiagnosis() {
-	f.stages.Diagnose += costDiagnoseNS
-}
-
-// chargeReconstruction accrues a checkpoint replay over the recorded
-// window (WindowSec at the control rate). The charge is a fixed function
-// of the window — not of the replay's actual record count — so the
-// modeled overhead stays independent of when within the window the alert
-// fired; telemetry reports the actual counts separately.
-func (f *Framework) chargeReconstruction() {
-	records := int64(f.cfg.WindowSec / f.cfg.DT)
-	if records < 1 {
-		records = 1
-	}
-	f.stages.Reconstruct += records * costReconstructPerRecordNS
+func (p *Pipeline) chargeDiagnosis() {
+	p.charge(telemetry.StageDiagnose, costDiagnoseNS)
 }
 
 // chargeRecoveryTick accrues the recovery-mode monitoring overhead.
-func (f *Framework) chargeRecoveryTick() {
-	f.stages.RecoveryMonitor += costRecoveryMonitorNS
+func (p *Pipeline) chargeRecoveryTick() {
+	p.charge(telemetry.StageRecoveryMonitor, costRecoveryMonitorNS)
 }
 
 // Overhead returns the modeled defense-module cost, the modeled total
 // control-loop cost (base + defense), and the tick count, for the Table 3
 // CPU-overhead row. Values are deterministic for a given mission seed.
-func (f *Framework) Overhead() (defenseNS, totalNS int64, ticks int) {
-	return f.stages.DefenseNS(), f.stages.TotalNS(), f.ticks
+func (p *Pipeline) Overhead() (defenseNS, totalNS int64, ticks int) {
+	return p.stages.DefenseNS(), p.stages.TotalNS(), p.ticks
 }
 
 // Stages returns the per-stage breakdown of the modeled cost.
-func (f *Framework) Stages() telemetry.StageNS { return f.stages }
+func (p *Pipeline) Stages() telemetry.StageNS { return p.stages }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/telemetry"
+	"repro/internal/vehicle"
+)
+
+// allModes enumerates every FSM state for the transition tables.
+var allModes = []Mode{
+	ModeNominal, ModeSuspicious, ModeDiagnosing,
+	ModeRecovering, ModeRevalidating, ModeExiting,
+}
+
+// legalEdges is the FSM diagram, stated as data: exactly these (from, to)
+// pairs are legal; every other pair must be rejected.
+var legalEdges = map[Mode][]Mode{
+	ModeNominal:      {ModeSuspicious},
+	ModeSuspicious:   {ModeNominal, ModeDiagnosing},
+	ModeDiagnosing:   {ModeRecovering},
+	ModeRecovering:   {ModeRevalidating, ModeExiting},
+	ModeRevalidating: {ModeExiting},
+	ModeExiting:      {ModeNominal},
+}
+
+func edgeLegal(from, to Mode) bool {
+	for _, m := range legalEdges[from] {
+		if m == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLegalTransitionTable checks LegalTransition over the full (from, to)
+// cross product against the diagram.
+func TestLegalTransitionTable(t *testing.T) {
+	for _, from := range allModes {
+		for _, to := range allModes {
+			want := edgeLegal(from, to)
+			if got := LegalTransition(from, to); got != want {
+				t.Errorf("LegalTransition(%s, %s) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+	if LegalTransition(Mode(0), ModeNominal) || LegalTransition(ModeNominal, Mode(99)) {
+		t.Error("out-of-range modes must have no edges")
+	}
+}
+
+// TestTransitionPanicsOnIllegalEdge asserts every non-edge panics, and
+// every edge does not.
+func TestTransitionPanicsOnIllegalEdge(t *testing.T) {
+	tryTransition := func(from, to Mode) (panicked bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, from.String()+"->"+to.String()) {
+					t.Errorf("panic message %v should name the %s->%s edge", r, from, to)
+				}
+			}
+		}()
+		fsm := NewFSM(nil)
+		fsm.mode = from
+		fsm.Transition(1, to, telemetry.StageDetect)
+		return false
+	}
+	for _, from := range allModes {
+		for _, to := range allModes {
+			panicked := tryTransition(from, to)
+			if legal := edgeLegal(from, to); panicked == legal {
+				t.Errorf("Transition(%s, %s): panicked=%v, want %v", from, to, panicked, !legal)
+			}
+		}
+	}
+}
+
+func TestModeSides(t *testing.T) {
+	tests := []struct {
+		mode     Mode
+		normal   bool
+		recovery bool
+	}{
+		{mode: ModeNominal, normal: true},
+		{mode: ModeSuspicious, normal: true},
+		{mode: ModeDiagnosing},
+		{mode: ModeRecovering, recovery: true},
+		{mode: ModeRevalidating, recovery: true},
+		{mode: ModeExiting},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.Normal(); got != tt.normal {
+			t.Errorf("%s.Normal() = %v, want %v", tt.mode, got, tt.normal)
+		}
+		if got := tt.mode.Recovery(); got != tt.recovery {
+			t.Errorf("%s.Recovery() = %v, want %v", tt.mode, got, tt.recovery)
+		}
+	}
+}
+
+// TestTransitionTelemetry walks a full DeLorean defense episode with
+// transition tracing on and asserts the FSM's mode path is observable as
+// exactly one stage-attributed mode_transition event per transition.
+func TestTransitionTelemetry(t *testing.T) {
+	prof := vehicle.MustProfile(vehicle.ArduCopter)
+	tel := telemetry.NewRecorder()
+	tel.EnableTransitions()
+	fw, err := New(Config{
+		Profile:   prof,
+		DT:        0.01,
+		Delta:     DefaultDelta(prof),
+		WindowSec: 5,
+		Telemetry: tel,
+	}, StrategyDeLorean)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fw.Init(vehicle.State{Z: 10})
+
+	target := mission.Waypoint{Z: 10}
+	clean := hoverMeas(10)
+	spoofed := clean
+	spoofed[sensors.SX] += 30
+	spoofed[sensors.SVX] += 1
+	meas := func(i int) sensors.PhysState {
+		if i >= 600 && i < 1100 {
+			return spoofed
+		}
+		return clean
+	}
+	for i := 0; i < 2000; i++ {
+		fw.Tick(float64(i)*0.01, meas(i), target)
+	}
+	if fw.Recovering() {
+		t.Fatal("episode did not complete: still recovering")
+	}
+
+	var transitions []string
+	for _, ev := range tel.Mission().Events {
+		if ev.Kind == telemetry.KindModeTransition {
+			transitions = append(transitions, ev.Detail)
+		}
+	}
+	// The first alert latch clears once before diagnosis implicates (the
+	// step-bias CUSUM unlatches for a tick while the triage masks it), so
+	// the path bounces Suspicious→Nominal→Suspicious before engaging — an
+	// FSM-visible detail the old two-mode flag could not express.
+	want := []string{
+		"nominal->suspicious stage=detect",
+		"suspicious->nominal stage=detect",
+		"nominal->suspicious stage=detect",
+		"suspicious->diagnosing stage=diagnose",
+		"diagnosing->recovering stage=reconstruct",
+		"recovering->revalidating stage=recovery_monitor",
+		"revalidating->exiting stage=recovery_monitor",
+		"exiting->nominal stage=control",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("got %d transition events %v, want %d %v",
+			len(transitions), transitions, len(want), want)
+	}
+	for i, detail := range want {
+		if transitions[i] != detail {
+			t.Errorf("transition %d = %q, want %q", i, transitions[i], detail)
+		}
+	}
+
+	// Each event must carry a stage attribution.
+	for _, detail := range transitions {
+		if !strings.Contains(detail, " stage=") {
+			t.Errorf("transition %q lacks stage attribution", detail)
+		}
+	}
+}
+
+// TestTransitionsOffByDefault pins the byte-identity contract: without
+// EnableTransitions the same episode emits no mode_transition events, so
+// default run reports are unchanged by the pipeline refactor.
+func TestTransitionsOffByDefault(t *testing.T) {
+	prof := vehicle.MustProfile(vehicle.ArduCopter)
+	tel := telemetry.NewRecorder()
+	fw, err := New(Config{
+		Profile:   prof,
+		DT:        0.01,
+		Delta:     DefaultDelta(prof),
+		WindowSec: 5,
+		Telemetry: tel,
+	}, StrategyDeLorean)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fw.Init(vehicle.State{Z: 10})
+	target := mission.Waypoint{Z: 10}
+	clean := hoverMeas(10)
+	spoofed := clean
+	spoofed[sensors.SX] += 30
+	for i := 0; i < 900; i++ {
+		m := clean
+		if i >= 600 {
+			m = spoofed
+		}
+		fw.Tick(float64(i)*0.01, m, target)
+	}
+	for _, ev := range tel.Mission().Events {
+		if ev.Kind == telemetry.KindModeTransition {
+			t.Fatalf("mode_transition recorded without EnableTransitions: %+v", ev)
+		}
+	}
+}

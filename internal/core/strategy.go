@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy selects the defense variant under evaluation.
+type Strategy int
+
+// The defense strategies of the evaluation (§5.1).
+const (
+	// StrategyNone flies undefended on the fused estimate.
+	StrategyNone Strategy = iota + 1
+	// StrategyDeLorean is the paper's contribution: diagnosis-guided
+	// targeted recovery.
+	StrategyDeLorean
+	// StrategyLQRO is Zhang et al.'s worst-case checkpoint recovery: on
+	// detection all sensors are isolated regardless of how many are
+	// attacked.
+	StrategyLQRO
+	// StrategySSR is Choi et al.'s software-sensor recovery: on detection
+	// the controller flies on virtual (approximate-model) sensor values,
+	// anchored at the possibly-corrupted current estimate.
+	StrategySSR
+	// StrategyPIDPiper is Dash et al.'s feed-forward-controller recovery:
+	// it blends a model feed-forward estimate with the (still attacked)
+	// fused feedback rather than isolating sensors.
+	StrategyPIDPiper
+)
+
+// String names the strategy as in the paper's tables. The switch is
+// deliberately default-free: it is covered by the exhaustive lint
+// analyzer, so adding a Strategy constant without naming it here fails
+// `delint` instead of silently stringifying through a fallback.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "None"
+	case StrategyDeLorean:
+		return "DeLorean"
+	case StrategyLQRO:
+		return "LQR-O"
+	case StrategySSR:
+		return "SSR"
+	case StrategyPIDPiper:
+		return "PID-Piper"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// strategyDef is one registry entry: the strategy, its accepted spellings,
+// and the stage composition it resolves to at New. The registry mirrors
+// the experiment registry (internal/experiments): a fixed declarative
+// table that every lookup and construction path goes through, so a new
+// strategy is added in exactly one place.
+type strategyDef struct {
+	strategy Strategy
+	// aliases are the lower-cased accepted spellings; the first is the
+	// canonical lower-cased String() form.
+	aliases []string
+	// compose wires the strategy's stage composition onto a pipeline
+	// whose shared plant (filter, recorder, controllers) is already
+	// built.
+	compose func(p *Pipeline) Composition
+}
+
+// strategyDefs returns the registry in Strategy declaration order.
+func strategyDefs() []strategyDef {
+	return []strategyDef{
+		{
+			strategy: StrategyNone,
+			aliases:  []string{"none"},
+			compose:  composeNone,
+		},
+		{
+			strategy: StrategyDeLorean,
+			aliases:  []string{"delorean"},
+			compose:  composeDeLorean,
+		},
+		{
+			strategy: StrategyLQRO,
+			aliases:  []string{"lqr-o", "lqro"},
+			compose:  composeLQRO,
+		},
+		{
+			strategy: StrategySSR,
+			aliases:  []string{"ssr"},
+			compose:  composeSSR,
+		},
+		{
+			strategy: StrategyPIDPiper,
+			aliases:  []string{"pid-piper", "pidpiper"},
+			compose:  composePIDPiper,
+		},
+	}
+}
+
+// AllStrategies returns every registered strategy in declaration order.
+func AllStrategies() []Strategy {
+	defs := strategyDefs()
+	out := make([]Strategy, len(defs))
+	for i, d := range defs {
+		out[i] = d.strategy
+	}
+	return out
+}
+
+// StrategyByName resolves a strategy from its table name (as printed by
+// String) or a registered alias, case-insensitively. It reports false for
+// unknown names.
+func StrategyByName(name string) (Strategy, bool) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	for _, d := range strategyDefs() {
+		for _, alias := range d.aliases {
+			if alias == lower {
+				return d.strategy, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lookupDef returns the registry entry for s.
+func lookupDef(s Strategy) (strategyDef, bool) {
+	for _, d := range strategyDefs() {
+		if d.strategy == s {
+			return d, true
+		}
+	}
+	return strategyDef{}, false
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStrategyRoundTrip pins the String ↔ StrategyByName round trip for
+// every registered strategy, plus the registered aliases and
+// case-insensitivity.
+func TestStrategyRoundTrip(t *testing.T) {
+	for _, s := range AllStrategies() {
+		name := s.String()
+		got, ok := StrategyByName(name)
+		if !ok || got != s {
+			t.Errorf("StrategyByName(%q) = (%v, %v), want (%v, true)", name, got, ok, s)
+		}
+		// Case-insensitive and whitespace-tolerant.
+		got, ok = StrategyByName("  " + strings.ToUpper(name) + " ")
+		if !ok || got != s {
+			t.Errorf("StrategyByName(upper %q) = (%v, %v), want (%v, true)", name, got, ok, s)
+		}
+	}
+}
+
+func TestStrategyByNameAliases(t *testing.T) {
+	tests := []struct {
+		give string
+		want Strategy
+	}{
+		{give: "none", want: StrategyNone},
+		{give: "DeLorean", want: StrategyDeLorean},
+		{give: "LQR-O", want: StrategyLQRO},
+		{give: "lqro", want: StrategyLQRO},
+		{give: "SSR", want: StrategySSR},
+		{give: "PID-Piper", want: StrategyPIDPiper},
+		{give: "pidpiper", want: StrategyPIDPiper},
+	}
+	for _, tt := range tests {
+		got, ok := StrategyByName(tt.give)
+		if !ok || got != tt.want {
+			t.Errorf("StrategyByName(%q) = (%v, %v), want (%v, true)", tt.give, got, ok, tt.want)
+		}
+	}
+	for _, unknown := range []string{"", "nonsense", "delorean2", "lqr"} {
+		if got, ok := StrategyByName(unknown); ok {
+			t.Errorf("StrategyByName(%q) = (%v, true), want not found", unknown, got)
+		}
+	}
+}
+
+// TestAllStrategiesRegistered pins the registry against the enum: every
+// declared Strategy constant resolves a composition at New.
+func TestAllStrategiesRegistered(t *testing.T) {
+	want := []Strategy{StrategyNone, StrategyDeLorean, StrategyLQRO, StrategySSR, StrategyPIDPiper}
+	got := AllStrategies()
+	if len(got) != len(want) {
+		t.Fatalf("AllStrategies() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllStrategies()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNewRejectsUnregisteredStrategy: the registry is the single source of
+// valid strategies; construction with an unknown value is an error, not a
+// silent LQR-O fallback as in the pre-registry switch.
+func TestNewRejectsUnregisteredStrategy(t *testing.T) {
+	fw := newFW(t, StrategyDeLorean) // valid construction must still work
+	if fw.Strategy() != StrategyDeLorean {
+		t.Fatalf("Strategy() = %v", fw.Strategy())
+	}
+	cfg := fw.cfg
+	for _, bad := range []Strategy{0, Strategy(42)} {
+		if _, err := New(cfg, bad); err == nil {
+			t.Errorf("New with strategy %v: expected error", bad)
+		}
+	}
+}

@@ -118,6 +118,11 @@ func TestStateIndexGolden(t *testing.T) {
 func TestExhaustiveGolden(t *testing.T) {
 	runGolden(t, "exhaustive", Exhaustive(ExhaustiveConfig{
 		TypePrefix: modulePath + "/",
+		Exclude: map[string][]string{
+			// Mirrors the suite's sentinel exclusions (telemetry.Stage
+			// NumStages, sensors.StateIndex NumStates).
+			modulePath + "/internal/lint/testdata/exhaustive.Stage": {"NumStages"},
+		},
 	}))
 }
 

@@ -8,9 +8,10 @@ import "repro/internal/sensors"
 // mission/core pipeline, and error discipline is enforced across all of
 // internal/.
 const (
-	modulePath  = "repro"
-	sensorsPath = modulePath + "/internal/sensors"
-	clockPath   = modulePath + "/internal/clock"
+	modulePath    = "repro"
+	sensorsPath   = modulePath + "/internal/sensors"
+	clockPath     = modulePath + "/internal/clock"
+	telemetryPath = modulePath + "/internal/telemetry"
 )
 
 // DefaultAnalyzers returns the project's full analyzer suite, tuned to
@@ -27,6 +28,10 @@ func DefaultAnalyzers() []*Analyzer {
 			Exclude: map[string][]string{
 				// NumStates is the PS length sentinel, not a state.
 				sensorsPath + ".StateIndex": {"NumStates"},
+				// NumStages is the stage-count sentinel, not a pipeline
+				// stage; core.Mode (the pipeline FSM) and telemetry.Kind
+				// stay fully covered.
+				telemetryPath + ".Stage": {"NumStages"},
 			},
 		}),
 		ErrDrop(modulePath + "/internal/"),
@@ -61,6 +66,18 @@ func defaultHotalloc() HotallocConfig {
 			},
 			modulePath + "/internal/checkpoint": {
 				"Record", "RecordInput",
+			},
+			// The staged defense pipeline's per-tick path: the tick engine,
+			// the shadow/reference kernels, the cost-model charge path, and
+			// the recovery-stage Update methods that fly every recovery
+			// tick. Episodic entry/exit work (triage, revalidateSensors,
+			// exitRecovery) is deliberately off this list — it runs per
+			// episode, not per tick, and owns the pipeline's cold
+			// allocations.
+			modulePath + "/internal/core": {
+				"Tick", "defenseTick", "active", "charge", "chargeTick",
+				"chargeRecoveryTick", "stepShadowStrapdown", "anchorShadow",
+				"referencePS", "estimatePS", "modelAccel", "Update",
 			},
 		},
 	}

@@ -63,3 +63,33 @@ func tagless(m Mode) string {
 	}
 	return "?"
 }
+
+// Stage mirrors the pipeline stage enums that end in a count sentinel:
+// the sentinel is excluded from coverage (suite config), the real
+// constants are not.
+type Stage int
+
+// Stages, with a trailing sentinel.
+const (
+	StageDetect Stage = iota + 1
+	StageRecover
+	NumStages // sentinel, excluded via ExhaustiveConfig.Exclude
+)
+
+func sentinelExcluded(s Stage) string {
+	switch s { // sentinel exclusion: NumStages not required
+	case StageDetect:
+		return "detect"
+	case StageRecover:
+		return "recover"
+	}
+	return "?"
+}
+
+func sentinelStillPartial(s Stage) string {
+	switch s { // want "switch on exhaustive.Stage is not exhaustive: missing StageRecover"
+	case StageDetect:
+		return "detect"
+	}
+	return "?"
+}

@@ -59,6 +59,10 @@ type Config struct {
 	// CollectErrors records the framework's per-tick diagnosis error
 	// vector (decimated 1:5) for δ calibration.
 	CollectErrors bool
+	// TraceTransitions records every pipeline FSM mode transition as a
+	// stage-attributed telemetry event. Off by default so run reports stay
+	// byte-stable across pipeline-internal refactors.
+	TraceTransitions bool
 }
 
 // TracePoint is one decimated sample of the mission for figures.
@@ -160,6 +164,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		cfg.Delta = core.DefaultDelta(cfg.Profile)
 	}
 	tel := telemetry.NewRecorder()
+	if cfg.TraceTransitions {
+		tel.EnableTransitions()
+	}
 	fw, err := core.New(core.Config{
 		Profile:   cfg.Profile,
 		DT:        cfg.DT,

@@ -44,6 +44,11 @@ const (
 	KindRecoveryExited
 	// KindMissionEnd closes the trace with the mission outcome.
 	KindMissionEnd
+	// KindModeTransition marks one pipeline FSM mode transition,
+	// attributed to the stage that caused it. Recorded only when
+	// transition tracing is enabled (EnableTransitions) so that default
+	// run reports stay byte-identical across pipeline-internal refactors.
+	KindModeTransition
 )
 
 // String names the kind as rendered in reports.
@@ -65,9 +70,76 @@ func (k Kind) String() string {
 		return "recovery_exited"
 	case KindMissionEnd:
 		return "mission_end"
+	case KindModeTransition:
+		return "mode_transition"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// Stage enumerates the defense pipeline's control-loop stages. It is the
+// single stage vocabulary shared by the cost model (StageNS per-stage
+// totals), the pipeline's FSM transition attribution, and the run report:
+// internal/core charges modeled nanoseconds against these names, and each
+// FSM mode transition names the Stage that caused it.
+type Stage int
+
+// The pipeline stages, in per-tick execution order. The first three are
+// the undefended control loop; the rest are the defense modules whose sum
+// is the Table 3 CPU-overhead numerator.
+const (
+	// StageBaseLoop is the non-defense control-loop floor (sensor I/O,
+	// scheduling, logging).
+	StageBaseLoop Stage = iota + 1
+	// StageFusion is the EKF predict+correct over the PS vector.
+	StageFusion
+	// StageControl is the control-law evaluation (autopilot or LQR).
+	StageControl
+	// StageShadow is the attack-free shadow-reference propagation.
+	StageShadow
+	// StageDetect is the residual+CUSUM attack-detector update.
+	StageDetect
+	// StageObserve is the diagnosis observation push.
+	StageObserve
+	// StageCheckpoint is the historic-states record append.
+	StageCheckpoint
+	// StageDiagnose is one diagnosis inference pass.
+	StageDiagnose
+	// StageReconstruct is the checkpoint-replay state reconstruction.
+	StageReconstruct
+	// StageRecoveryMonitor is the re-validation and attack-subsidence
+	// monitoring while recovery is engaged.
+	StageRecoveryMonitor
+	// NumStages is the stage-count sentinel, not a stage (excluded from
+	// exhaustiveness; see internal/lint/suite.go).
+	NumStages
+)
+
+// String names the stage as rendered in reports and transition events.
+func (s Stage) String() string {
+	switch s {
+	case StageBaseLoop:
+		return "base_loop"
+	case StageFusion:
+		return "fusion"
+	case StageControl:
+		return "control"
+	case StageShadow:
+		return "shadow"
+	case StageDetect:
+		return "detect"
+	case StageObserve:
+		return "observe"
+	case StageCheckpoint:
+		return "checkpoint"
+	case StageDiagnose:
+		return "diagnose"
+	case StageReconstruct:
+		return "reconstruct"
+	case StageRecoveryMonitor:
+		return "recovery_monitor"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
 }
 
 // MarshalText renders the kind name into JSON reports.
@@ -156,6 +228,67 @@ func (s StageNS) BaseNS() int64 { return s.BaseLoop + s.Fusion + s.Control }
 // TotalNS is the whole control loop's modeled total.
 func (s StageNS) TotalNS() int64 { return s.BaseNS() + s.DefenseNS() }
 
+// AddNS charges ns modeled nanoseconds against the named stage. It is
+// the cost model's write path: internal/core charges every stage through
+// this single switch, so the cost-model vocabulary cannot drift from the
+// pipeline's Stage identity.
+func (s *StageNS) AddNS(st Stage, ns int64) {
+	switch st {
+	case StageBaseLoop:
+		s.BaseLoop += ns
+	case StageFusion:
+		s.Fusion += ns
+	case StageControl:
+		s.Control += ns
+	case StageShadow:
+		s.Shadow += ns
+	case StageDetect:
+		s.Detect += ns
+	case StageObserve:
+		s.Observe += ns
+	case StageCheckpoint:
+		s.Checkpoint += ns
+	case StageDiagnose:
+		s.Diagnose += ns
+	case StageReconstruct:
+		s.Reconstruct += ns
+	case StageRecoveryMonitor:
+		s.RecoveryMonitor += ns
+	case NumStages:
+		// The sentinel carries no bucket; charging it is a programming
+		// error kept silent to preserve determinism.
+	}
+}
+
+// Of returns the accumulated nanoseconds of the named stage.
+func (s StageNS) Of(st Stage) int64 {
+	switch st {
+	case StageBaseLoop:
+		return s.BaseLoop
+	case StageFusion:
+		return s.Fusion
+	case StageControl:
+		return s.Control
+	case StageShadow:
+		return s.Shadow
+	case StageDetect:
+		return s.Detect
+	case StageObserve:
+		return s.Observe
+	case StageCheckpoint:
+		return s.Checkpoint
+	case StageDiagnose:
+		return s.Diagnose
+	case StageReconstruct:
+		return s.Reconstruct
+	case StageRecoveryMonitor:
+		return s.RecoveryMonitor
+	case NumStages:
+		return 0
+	}
+	return 0
+}
+
 // Add accumulates o into s.
 func (s *StageNS) Add(o StageNS) {
 	s.BaseLoop += o.BaseLoop
@@ -202,6 +335,10 @@ type Mission struct {
 // the call sites.
 type Recorder struct {
 	m Mission
+	// traceTransitions enables KindModeTransition events. Off by default
+	// so that run reports stay byte-identical across pipeline-internal
+	// refactors; tests and explicit tracing runs opt in.
+	traceTransitions bool
 }
 
 // NewRecorder returns an empty mission recorder.
@@ -309,6 +446,27 @@ func (r *Recorder) RecoveryExited(tick int, detail string) {
 		return
 	}
 	r.Event(tick, KindRecoveryExited, detail)
+}
+
+// EnableTransitions turns on FSM mode-transition tracing: every
+// pipeline mode transition is recorded as one stage-attributed
+// KindModeTransition event. Off by default so default run reports stay
+// byte-stable.
+func (r *Recorder) EnableTransitions() {
+	if r == nil {
+		return
+	}
+	r.traceTransitions = true
+}
+
+// ModeTransition records one pipeline FSM transition from→to, attributed
+// to the stage that caused it. A no-op unless EnableTransitions was
+// called.
+func (r *Recorder) ModeTransition(tick int, from, to string, cause Stage) {
+	if r == nil || !r.traceTransitions {
+		return
+	}
+	r.Event(tick, KindModeTransition, from+"->"+to+" stage="+cause.String())
 }
 
 // SetDetectionLatency records the attack-onset→alert latency in ticks.

@@ -7,19 +7,20 @@
 # copied), runs the same benchmark set in both trees with -benchmem, and
 # byte-compares a reduced `cmd/experiments` run between the trees — the
 # optimization must not change a single output byte. Results land in
-# BENCH_PR4.json: ns/op, B/op, allocs/op per benchmark for both trees, the
+# BENCH_PR5.json: ns/op, B/op, allocs/op per benchmark for both trees, the
 # speedup ratio, and the outputs_identical verdict.
 #
 # Env knobs:
-#   BEFORE_REF  git ref of the pre-optimization tree (default: the last
-#               commit before the hot-path PR)
-#   OUT         output JSON path (default: BENCH_PR4.json)
+#   BEFORE_REF  git ref of the comparison tree (default: the last commit
+#               before the staged-pipeline refactor, i.e. the PR-4
+#               zero-allocation tree — the refactor must hold its speed)
+#   OUT         output JSON path (default: BENCH_PR5.json)
 #   BENCHTIME   -benchtime passed to go test (default: 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-BEFORE_REF="${BEFORE_REF:-ef1a557}"
-OUT="${OUT:-BENCH_PR4.json}"
+BEFORE_REF="${BEFORE_REF:-da6c9a4}"
+OUT="${OUT:-BENCH_PR5.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCH='^(BenchmarkMissionShort|BenchmarkTick|BenchmarkEKFPredict|BenchmarkEKFPredictHybrid|BenchmarkEKFCorrect|BenchmarkFGMarginals|BenchmarkFGMarginalAllVars)$'
 PKGS=(./. ./internal/core/ ./internal/ekf/ ./internal/fg/)

@@ -27,6 +27,9 @@ go test -race -short ./...
 echo "== race (runner + parallel determinism) =="
 go test -race -timeout 1800s ./internal/runner
 go test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight|TestReportDeterminism' ./internal/experiments
+echo "== race (pipeline FSM + legacy equivalence) =="
+go test -race -timeout 1800s -run 'TestPipelineEquivalence|TestLegalTransition|TestTransition|TestModeSides' ./internal/core
+go test -race -timeout 1800s -run 'TestTraceTransitions' ./internal/sim
 if command -v shellcheck >/dev/null 2>&1; then
     echo "== shellcheck =="
     shellcheck scripts/*.sh
