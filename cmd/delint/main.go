@@ -6,15 +6,22 @@
 //
 // Usage:
 //
-//	delint [-list] [-only name,name] [packages...]
+//	delint [-list] [-only name,name] [-json] [-github] [packages...]
 //
 // Packages are directory patterns relative to the working directory
 // ("./..." by default). Suppress an intentional violation with
 // `//lint:ignore <analyzer> <reason>` on the offending line or the line
 // above it.
+//
+// Output modes: the default is the canonical file:line:col text form;
+// -json emits one JSON object per finding on stdout (machine-readable,
+// stable field names); -github emits GitHub Actions workflow commands
+// (::error file=...) so findings annotate the offending lines in pull
+// requests. The modes are mutually exclusive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,52 @@ import (
 
 	"repro/internal/lint"
 )
+
+// jsonDiagnostic is the stable wire form of one finding for -json mode.
+// Field names are part of the CLI contract; tools parse them.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printText renders findings in the canonical file:line:col form.
+func printText(diags []lint.Diagnostic) {
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+}
+
+// printJSON renders findings as newline-delimited JSON objects.
+func printJSON(diags []lint.Diagnostic) error {
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printGitHub renders findings as GitHub Actions error annotations.
+// Message text must have newlines and percent signs escaped per the
+// workflow-command grammar.
+func printGitHub(diags []lint.Diagnostic) {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	for _, d := range diags {
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=delint %s::%s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, esc.Replace(d.Message))
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -31,7 +84,13 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("delint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding on stdout")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *github {
+		fmt.Fprintln(os.Stderr, "delint: -json and -github are mutually exclusive")
 		return 2
 	}
 
@@ -79,8 +138,16 @@ func run(args []string) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	switch {
+	case *jsonOut:
+		if err := printJSON(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "delint: %v\n", err)
+			return 2
+		}
+	case *github:
+		printGitHub(diags)
+	default:
+		printText(diags)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "delint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+// The floatcmp fixture has known findings; against it, every output mode
+// must exit 1 and render each finding in its wire form.
+const fixture = "../../internal/lint/testdata/floatcmp"
+
+func TestJSONOutput(t *testing.T) {
+	var code int
+	out := capture(t, func() {
+		code = run([]string{"-json", "-only", "floatcmp", fixture})
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	n := 0
+	for sc.Scan() {
+		var d jsonDiagnostic
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", n+1, err, sc.Text())
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer != "floatcmp" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("no JSON findings emitted")
+	}
+}
+
+func TestGitHubOutput(t *testing.T) {
+	var code int
+	out := capture(t, func() {
+		code = run([]string{"-github", "-only", "floatcmp", fixture})
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("line is not a workflow command: %q", line)
+		}
+		if !strings.Contains(line, "title=delint floatcmp::") {
+			t.Errorf("line missing analyzer title: %q", line)
+		}
+	}
+	if len(lines) == 0 {
+		t.Error("no annotations emitted")
+	}
+}
+
+func TestModeExclusivity(t *testing.T) {
+	if code := run([]string{"-json", "-github", fixture}); code != 2 {
+		t.Errorf("exit code = %d, want 2 for -json with -github", code)
+	}
+}
+
+func TestTextOutputStable(t *testing.T) {
+	var code int
+	out := capture(t, func() {
+		code = run([]string{"-only", "floatcmp", fixture})
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasSuffix(line, "(floatcmp)") {
+			t.Errorf("text line missing analyzer suffix: %q", line)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/telemetry"
 )
@@ -68,7 +69,9 @@ func (m Mode) String() string {
 	case ModeExiting:
 		return "exiting"
 	}
-	return fmt.Sprintf("Mode(%d)", int(m))
+	// strconv.Itoa, unlike fmt, boxes nothing (and interns small values);
+	// String sits on the hot transition path.
+	return "Mode(" + strconv.Itoa(int(m)) + ")"
 }
 
 // Normal reports whether the mode is on the nominal-control side of the

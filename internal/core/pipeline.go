@@ -50,9 +50,10 @@ type Pipeline struct {
 	// Per-tick scratch: the canonical sensor list, the full trusted set
 	// served on the (steady-state) non-recovery path, and a reused buffer
 	// for the recovery-mode subset — so active() allocates nothing.
-	allTypes  []sensors.Type
-	allActive sensors.TypeSet
-	activeBuf sensors.TypeSet
+	allTypes   []sensors.Type
+	allActive  sensors.TypeSet
+	activeBuf  sensors.TypeSet
+	monitorBuf []sensors.StateIndex // reused by monitoredChannels each recovery tick
 
 	recoveryStart   float64
 	diagUnionUntil  float64

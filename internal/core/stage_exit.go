@@ -84,18 +84,25 @@ func (s subsidenceExit) ShouldExit(t float64, meas sensors.PhysState) bool {
 // monitoredChannels returns the channels whose residuals/edges govern
 // recovery exit: the compromised sensors' states for the isolating
 // strategies, every monitored state for the tolerating ones.
+// It runs every recovery tick, so it iterates the canonical type list
+// against the preallocated full set and reuses the pipeline's channel
+// buffer instead of materializing set.List().
 func (p *Pipeline) monitoredChannels() []sensors.StateIndex {
 	set := p.compromised
 	if set.Len() == 0 {
-		set = sensors.NewTypeSet(sensors.AllTypes()...)
+		set = p.allActive
 	}
-	var out []sensors.StateIndex
-	for _, typ := range set.List() {
+	out := p.monitorBuf[:0]
+	for _, typ := range p.allTypes {
+		if !set.Has(typ) {
+			continue
+		}
 		for _, idx := range sensors.StatesOf(typ) {
 			if p.cfg.Delta[idx] > 0 {
 				out = append(out, idx)
 			}
 		}
 	}
+	p.monitorBuf = out
 	return out
 }

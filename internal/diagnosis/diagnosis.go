@@ -89,6 +89,24 @@ type DeLorean struct {
 	lastVerdicts []SensorVerdict
 	// margBuf is Diagnose's reused destination for batch marginals.
 	margBuf []float64
+
+	// graphs are the per-sensor factor graphs, built once at construction.
+	// Their threshold factors read the error pair through evidence cells
+	// (evPrev/evCur), so Diagnose only stores the current window into the
+	// cells and invalidates each graph's inference cache — it never
+	// rebuilds graph structure or factor closures. The factor predicate is
+	// identical to the rebuilt-per-call form, and the enumeration order is
+	// a property of graph structure, so the marginals are bit-identical.
+	graphs []sensorGraph
+	evPrev sensors.PhysState
+	evCur  sensors.PhysState
+}
+
+// sensorGraph is one sensor's cached diagnosis graph.
+type sensorGraph struct {
+	typ   sensors.Type
+	g     *fg.Graph
+	nvars int
 }
 
 // SensorVerdict is one sensor's diagnosis outcome together with its
@@ -105,9 +123,38 @@ type SensorVerdict struct {
 // pairwise errors (e_{t−1}, e_t).
 const histLen = 2
 
-// NewDeLorean returns the FG diagnoser with calibrated thresholds.
+// NewDeLorean returns the FG diagnoser with calibrated thresholds. The
+// per-sensor factor graphs over the monitored channels (Table 1) are
+// built here, once; their factors read the error evidence through the
+// diagnoser's evidence cells.
 func NewDeLorean(delta Delta) *DeLorean {
-	return &DeLorean{delta: delta}
+	d := &DeLorean{delta: delta}
+	maxVars := 0
+	for _, typ := range sensors.AllTypes() {
+		g := fg.New()
+		nvars := 0
+		for _, idx := range sensors.StatesOf(typ) {
+			if delta[idx] <= 0 {
+				continue // unmonitored channel on this RV
+			}
+			v := g.AddVariable(idx.String())
+			g.AddFactor(
+				"f_"+idx.String(),
+				fg.ThresholdFactorAt(&d.evPrev[idx], &d.evCur[idx], delta[idx]),
+				v,
+			)
+			nvars++
+		}
+		if nvars == 0 {
+			continue // sensor entirely unmonitored on this RV
+		}
+		d.graphs = append(d.graphs, sensorGraph{typ: typ, g: g, nvars: nvars})
+		if nvars > maxVars {
+			maxVars = nvars
+		}
+	}
+	d.margBuf = make([]float64, maxVars)
+	return d
 }
 
 // Name implements Diagnoser.
@@ -130,42 +177,28 @@ func (d *DeLorean) Observe(predicted, observed sensors.PhysState) {
 	}
 }
 
-// Diagnose builds one factor graph per sensor type over that sensor's
-// physical states (Table 1) and flags the sensor if any state's MLE
-// outcome is Malicious (P(s=malicious|e) > 0.5, Eq. 4). The per-sensor
-// verdicts with their marginals are retained for Verdicts.
+// Diagnose runs MLE inference on the cached per-sensor factor graphs
+// over that sensor's physical states (Table 1) and flags the sensor if
+// any state's MLE outcome is Malicious (P(s=malicious|e) > 0.5, Eq. 4).
+// It stores the error window into the evidence cells the factors read
+// and invalidates each graph's inference cache; graph structure is fixed
+// since construction, so steady-state diagnosis allocates nothing beyond
+// the returned set. The per-sensor verdicts with their marginals are
+// retained for Verdicts.
 func (d *DeLorean) Diagnose() sensors.TypeSet {
 	flagged := sensors.NewTypeSet()
 	d.lastVerdicts = d.lastVerdicts[:0]
 	if d.nHist < histLen {
 		return flagged
 	}
-	ePrev := d.errHist[histLen-2]
-	eCur := d.errHist[histLen-1]
+	d.evPrev = d.errHist[histLen-2]
+	d.evCur = d.errHist[histLen-1]
 
-	for _, typ := range sensors.AllTypes() {
-		graph := fg.New()
-		nvars := 0
-		for _, idx := range sensors.StatesOf(typ) {
-			if d.delta[idx] <= 0 {
-				continue // unmonitored channel on this RV
-			}
-			v := graph.AddVariable(idx.String())
-			graph.AddFactor(
-				"f_"+idx.String(),
-				fg.ThresholdFactor(ePrev[idx], eCur[idx], d.delta[idx]),
-				v,
-			)
-			nvars++
-		}
-		if nvars == 0 {
-			continue // sensor entirely unmonitored on this RV
-		}
-		if cap(d.margBuf) < nvars {
-			d.margBuf = make([]float64, nvars)
-		}
-		verdict := SensorVerdict{Sensor: typ}
-		for _, p := range graph.MarginalsInto(d.margBuf[:nvars]) {
+	for i := range d.graphs {
+		sg := &d.graphs[i]
+		sg.g.Invalidate() // evidence cells changed under the factors
+		verdict := SensorVerdict{Sensor: sg.typ}
+		for _, p := range sg.g.MarginalsInto(d.margBuf[:sg.nvars]) {
 			if p > verdict.MaxMarginal {
 				verdict.MaxMarginal = p
 			}
@@ -174,7 +207,7 @@ func (d *DeLorean) Diagnose() sensors.TypeSet {
 			}
 		}
 		if verdict.Malicious {
-			flagged.Add(typ)
+			flagged.Add(sg.typ)
 		}
 		d.lastVerdicts = append(d.lastVerdicts, verdict)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/fg"
 	"repro/internal/sensors"
 )
 
@@ -243,5 +244,112 @@ func TestPropertyNoFlagBelowDelta(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// rebuiltVerdicts is a verbatim transcription of the rebuild-per-call
+// diagnosis the cached-graph form replaced: one fresh factor graph per
+// sensor per call, value-capturing threshold factors. It is the
+// equivalence oracle proving the evidence-cell graphs are bit-exact.
+func rebuiltVerdicts(delta Delta, ePrev, eCur sensors.PhysState) []SensorVerdict {
+	var out []SensorVerdict
+	for _, typ := range sensors.AllTypes() {
+		graph := fg.New()
+		nvars := 0
+		for _, idx := range sensors.StatesOf(typ) {
+			if delta[idx] <= 0 {
+				continue
+			}
+			v := graph.AddVariable(idx.String())
+			graph.AddFactor("f_"+idx.String(), fg.ThresholdFactor(ePrev[idx], eCur[idx], delta[idx]), v)
+			nvars++
+		}
+		if nvars == 0 {
+			continue
+		}
+		verdict := SensorVerdict{Sensor: typ}
+		for _, p := range graph.Marginals() {
+			if p > verdict.MaxMarginal {
+				verdict.MaxMarginal = p
+			}
+			if p > 0.5 {
+				verdict.Malicious = true
+			}
+		}
+		out = append(out, verdict)
+	}
+	return out
+}
+
+// TestDeLoreanCachedGraphsMatchRebuilt drives random evidence through the
+// cached-graph diagnoser and the rebuild-per-call oracle and requires
+// bit-identical marginals (==, not tolerance: same factor values and same
+// enumeration order must give the same floats).
+func TestDeLoreanCachedGraphsMatchRebuilt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	delta := uniformDelta(1)
+	delta[sensors.SBaroAlt] = 0 // keep one unmonitored channel in play
+	d := NewDeLorean(delta)
+	var prev sensors.PhysState
+	for step := 0; step < 50; step++ {
+		var obs sensors.PhysState
+		for i := range obs {
+			if rng.Float64() < 0.4 {
+				obs[i] = rng.Float64() * 3
+			}
+		}
+		d.Observe(sensors.PhysState{}, obs)
+		if step == 0 {
+			prev = obs
+			continue
+		}
+		got := d.Diagnose()
+		want := rebuiltVerdicts(delta, prev, obs)
+		verdicts := d.Verdicts()
+		if len(verdicts) != len(want) {
+			t.Fatalf("step %d: %d verdicts, oracle has %d", step, len(verdicts), len(want))
+		}
+		for i, w := range want {
+			g := verdicts[i]
+			if g.Sensor != w.Sensor || g.Malicious != w.Malicious || g.MaxMarginal != w.MaxMarginal {
+				t.Fatalf("step %d sensor %v: got %+v, oracle %+v", step, w.Sensor, g, w)
+			}
+			if got.Has(w.Sensor) != w.Malicious {
+				t.Fatalf("step %d sensor %v: flagged=%v, oracle malicious=%v",
+					step, w.Sensor, got.Has(w.Sensor), w.Malicious)
+			}
+		}
+		prev = obs
+	}
+}
+
+// TestDeLoreanDiagnoseAllocBudget pins the steady-state allocation cost
+// of Diagnose: the returned TypeSet (map header plus its first bucket
+// when a sensor is flagged) is the only allocation — the graphs, their
+// scratch, the marginal buffer, and the verdict buffer are all reused.
+func TestDeLoreanDiagnoseAllocBudget(t *testing.T) {
+	d := NewDeLorean(uniformDelta(1))
+	var pred, obs sensors.PhysState
+	obs[sensors.SX] = 10
+	observePair(d, pred, obs, 2)
+	d.Diagnose() // warm the per-graph enumeration scratch
+	if n := testing.AllocsPerRun(100, func() { d.Diagnose() }); n > 2 {
+		t.Errorf("Diagnose allocates %v/op in steady state, budget 2 (the returned set)", n)
+	}
+}
+
+// BenchmarkDeLoreanDiagnose is the diagnosis steady state: cached graphs,
+// evidence-cell rewrite, shared-buffer marginals.
+func BenchmarkDeLoreanDiagnose(b *testing.B) {
+	d := NewDeLorean(uniformDelta(1))
+	var pred, obs sensors.PhysState
+	obs[sensors.SX] = 10
+	obs[sensors.SWRoll] = 5
+	observePair(d, pred, obs, 2)
+	d.Diagnose()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Diagnose()
 	}
 }

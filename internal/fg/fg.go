@@ -281,3 +281,24 @@ func ThresholdFactor(ePrev, eCur, delta float64) FactorFunc {
 		return 0
 	}
 }
+
+// ThresholdFactorAt is the evidence-cell form of ThresholdFactor: instead
+// of capturing the error pair by value, the factor reads it through the
+// given pointers at evaluation time. This lets a caller build each
+// diagnosis graph once, store the per-step errors into the pointed-to
+// cells, and re-run inference with Invalidate — no per-diagnosis graph
+// reconstruction, no per-diagnosis closure allocation. The predicate is
+// evaluated identically to ThresholdFactor, so the cached-graph and
+// rebuilt-graph forms produce bit-identical marginals for equal evidence.
+func ThresholdFactorAt(ePrev, eCur *float64, delta float64) FactorFunc {
+	return func(assign []Outcome) float64 {
+		if len(assign) != 1 {
+			return 0
+		}
+		inflated := *ePrev > delta && *eCur > delta
+		if inflated == (assign[0] == Malicious) {
+			return 1
+		}
+		return 0
+	}
+}

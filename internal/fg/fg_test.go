@@ -229,8 +229,8 @@ func TestMarginalsMatchesMarginal(t *testing.T) {
 	a := g.AddVariable("a")
 	b := g.AddVariable("b")
 	c := g.AddVariable("c")
-	g.AddFactor("fa", ThresholdFactor(5, 6, 2), a)  // inflated → malicious
-	g.AddFactor("fb", ThresholdFactor(1, 1, 2), b)  // quiet → benign
+	g.AddFactor("fa", ThresholdFactor(5, 6, 2), a) // inflated → malicious
+	g.AddFactor("fb", ThresholdFactor(1, 1, 2), b) // quiet → benign
 	// Coupling: c tracks a (both same outcome scores 1, else 0.2).
 	g.AddFactor("fc", func(assign []Outcome) float64 {
 		if assign[0] == assign[1] {
@@ -274,5 +274,47 @@ func TestMarginalsZeroMassFallsBackToPriors(t *testing.T) {
 func TestMarginalsEmptyGraph(t *testing.T) {
 	if got := New().Marginals(); len(got) != 0 {
 		t.Errorf("empty graph marginals = %v, want empty", got)
+	}
+}
+
+func TestThresholdFactorAtMatchesValueForm(t *testing.T) {
+	// The evidence-cell factor must evaluate the exact predicate of the
+	// value-capturing factor for the same evidence — including after the
+	// cells are rewritten, which is the cached-graph update path.
+	cases := []struct{ ePrev, eCur, delta float64 }{
+		{0, 0, 1}, {2, 2, 1}, {2, 0.5, 1}, {0.5, 2, 1}, {1, 1, 1},
+		{3.7, 9.1, 2.4}, {2.4, 2.4, 2.4},
+	}
+	var ePrev, eCur float64
+	for _, c := range cases {
+		ePrev, eCur = c.ePrev, c.eCur
+		val := ThresholdFactor(c.ePrev, c.eCur, c.delta)
+		at := ThresholdFactorAt(&ePrev, &eCur, c.delta)
+		for _, o := range []Outcome{Benign, Malicious} {
+			if got, want := at([]Outcome{o}), val([]Outcome{o}); got != want {
+				t.Errorf("(%v, %v, δ=%v) outcome %v: at=%v value=%v",
+					c.ePrev, c.eCur, c.delta, o, got, want)
+			}
+		}
+		if at([]Outcome{Benign, Malicious}) != 0 {
+			t.Error("arity guard missing on evidence-cell factor")
+		}
+	}
+}
+
+func TestThresholdFactorAtTracksCellRewrites(t *testing.T) {
+	var ePrev, eCur float64
+	g := New()
+	v := g.AddVariable("s")
+	g.AddFactor("f", ThresholdFactorAt(&ePrev, &eCur, 1), v)
+
+	p, err := g.Marginal(v)
+	if err != nil || p != 0 {
+		t.Fatalf("quiet evidence: P(malicious) = %v, %v; want 0", p, err)
+	}
+	ePrev, eCur = 5, 5
+	g.Invalidate()
+	if p, _ := g.Marginal(v); p != 1 {
+		t.Errorf("inflated evidence after rewrite: P(malicious) = %v, want 1", p)
 	}
 }

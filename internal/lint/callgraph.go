@@ -1,0 +1,618 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the whole-program call graph the program-level
+// analyzers (puretick, hotalloc) run reachability proofs over. It is an
+// over-approximating graph on the loaded module packages only: calls into
+// the standard library are leaf edges (not traversed), and dynamic calls
+// are resolved conservatively:
+//
+//   - direct function and method calls resolve to their declaration;
+//   - interface method calls resolve by class-hierarchy analysis (CHA) to
+//     the same-named method of every module type implementing the
+//     interface;
+//   - calls through func-typed variables, fields, and parameters resolve
+//     to every address-taken module function and every escaping function
+//     literal with an identical signature;
+//   - a local variable bound exactly once to a function literal resolves
+//     precisely to that literal.
+//
+// Function literals are graph nodes of their own (named parent$n in
+// source order) with a containment edge from the enclosing function, so
+// defining a literal on a hot path conservatively implies it may run
+// there.
+
+// FuncRef is the textual reference format analyzers use to name graph
+// nodes in configuration: "<import-path>:<Func>" for package-level
+// functions, "<import-path>:<Recv.Method>" for methods (no pointer star),
+// with "$<n>" suffixes for the n-th nested function literal.
+type FuncRef = string
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// EdgeCall is a statically resolved call to a declared function,
+	// method, or directly invoked literal.
+	EdgeCall EdgeKind = iota + 1
+	// EdgeInterface is a CHA-resolved interface method dispatch.
+	EdgeInterface
+	// EdgeDynamic is a signature-matched call through a func value.
+	EdgeDynamic
+	// EdgeContains links a function to a literal defined inside it.
+	EdgeContains
+)
+
+// CGEdge is one resolved call edge.
+type CGEdge struct {
+	Callee *CGNode
+	// Site is the call (or literal definition) position in the caller.
+	Site token.Pos
+	Kind EdgeKind
+}
+
+// CGNode is one module function, method, or function literal.
+type CGNode struct {
+	// Ref is the node's canonical FuncRef.
+	Ref string
+	// Pkg is the package the node's body lives in.
+	Pkg *Package
+	// Fn is the declared function object; nil for literals.
+	Fn *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the function literal; nil for declarations.
+	Lit *ast.FuncLit
+	// Escapes marks a literal that may be invoked from outside its
+	// lexical scope (returned, passed as an argument, or stored) — such a
+	// closure allocates at creation. Always false for declarations,
+	// immediately invoked literals, and literals bound once to a local
+	// variable.
+	Escapes bool
+	// Edges are the node's outgoing call edges in source order, deduped
+	// by callee.
+	Edges []CGEdge
+
+	name string
+}
+
+// Pos returns the node's declaration position.
+func (n *CGNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Body returns the node's body block.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name returns the node's name within its package: "Func", "Recv.Method",
+// or "Recv.Method$1" for literals.
+func (n *CGNode) Name() string { return n.name }
+
+// DisplayName names the node in diagnostics: the innermost enclosing
+// declared function, qualified by package basename (literals attribute to
+// their parent declaration, which is where the reader must look).
+func (n *CGNode) DisplayName() string {
+	name := n.name
+	if i := strings.IndexByte(name, '$'); i >= 0 {
+		name = name[:i]
+	}
+	base := n.Pkg.Path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base + "." + name
+}
+
+// CallGraph is the module's call graph.
+type CallGraph struct {
+	nodes map[string]*CGNode
+	byFn  map[*types.Func]*CGNode
+	order []*CGNode
+}
+
+// Node resolves a FuncRef, or nil when the module declares no such
+// function.
+func (g *CallGraph) Node(ref string) *CGNode { return g.nodes[ref] }
+
+// Nodes returns every node in deterministic (package path, source) order.
+func (g *CallGraph) Nodes() []*CGNode { return g.order }
+
+// ReachEntry records how a node was first reached during BFS.
+type ReachEntry struct {
+	// From is the parent node; nil for roots.
+	From *CGNode
+	// Site is the call site in From that reached the node.
+	Site token.Pos
+}
+
+// Reachable runs a breadth-first traversal from roots and returns the
+// reached set with parent pointers plus the deterministic visit order.
+// Nodes for which cut returns true are not visited and not traversed
+// through (the analyzers' cold-path cut points).
+func (g *CallGraph) Reachable(roots []*CGNode, cut func(*CGNode) bool) (map[*CGNode]ReachEntry, []*CGNode) {
+	reach := make(map[*CGNode]ReachEntry)
+	var order, queue []*CGNode
+	for _, r := range roots {
+		if r == nil || (cut != nil && cut(r)) {
+			continue
+		}
+		if _, ok := reach[r]; ok {
+			continue
+		}
+		reach[r] = ReachEntry{}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.Edges {
+			if _, ok := reach[e.Callee]; ok {
+				continue
+			}
+			if cut != nil && cut(e.Callee) {
+				continue
+			}
+			reach[e.Callee] = ReachEntry{From: n, Site: e.Site}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return reach, order
+}
+
+// Chain renders the call path from a root to n recorded in reach, e.g.
+// "core.Pipeline.Tick → core.Pipeline.defenseTick → ekf.Filter.Correct".
+// Long chains keep the root and the last hops.
+func Chain(reach map[*CGNode]ReachEntry, n *CGNode) string {
+	var hops []string
+	for cur := n; cur != nil; {
+		hops = append(hops, cur.DisplayName())
+		cur = reach[cur].From
+	}
+	// Reverse into root-first order, collapsing consecutive duplicates
+	// (a literal shares its parent's display name).
+	var path []string
+	for i := len(hops) - 1; i >= 0; i-- {
+		if len(path) == 0 || path[len(path)-1] != hops[i] {
+			path = append(path, hops[i])
+		}
+	}
+	const maxHops = 6
+	if len(path) > maxHops {
+		head := path[:2]
+		tail := path[len(path)-(maxHops-2):]
+		path = append(append(append([]string{}, head...), "…"), tail...)
+	}
+	return strings.Join(path, " → ")
+}
+
+// BuildCallGraph constructs the call graph over the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	b := &cgBuilder{
+		graph: &CallGraph{
+			nodes: make(map[string]*CGNode),
+			byFn:  make(map[*types.Func]*CGNode),
+		},
+		litNodes:  make(map[*ast.FuncLit]*CGNode),
+		localBind: make(map[types.Object]*CGNode),
+		escaping:  make(map[*ast.FuncLit]bool),
+		addrTaken: make(map[*types.Func]bool),
+		bySig:     make(map[string][]*CGNode),
+	}
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	b.pkgs = sorted
+
+	b.collectNamedTypes()
+	for _, pkg := range b.pkgs {
+		b.createNodes(pkg)
+	}
+	for _, pkg := range b.pkgs {
+		b.analyzeValues(pkg)
+	}
+	b.indexSignatures()
+	for lit, node := range b.litNodes {
+		node.Escapes = b.escaping[lit]
+	}
+	for _, n := range b.graph.order {
+		b.buildEdges(n)
+	}
+	return b.graph
+}
+
+type cgBuilder struct {
+	graph *CallGraph
+	pkgs  []*Package
+
+	// namedTypes are all module-declared named non-interface types, in
+	// deterministic order, for CHA interface resolution.
+	namedTypes []*types.Named
+
+	litNodes map[*ast.FuncLit]*CGNode
+	// localBind maps a local variable bound exactly once to a function
+	// literal onto that literal's node.
+	localBind map[types.Object]*CGNode
+	// escaping marks literals that may be invoked from outside their
+	// lexical scope (returned, passed as argument, stored).
+	escaping map[*ast.FuncLit]bool
+	// addrTaken marks declared functions referenced as values.
+	addrTaken map[*types.Func]bool
+	// bySig indexes address-taken functions and escaping literals by
+	// signature for dynamic-call resolution.
+	bySig map[string][]*CGNode
+}
+
+// collectNamedTypes gathers every module named non-interface type in
+// (package path, name) order.
+func (b *cgBuilder) collectNamedTypes() {
+	for _, pkg := range b.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			b.namedTypes = append(b.namedTypes, named)
+		}
+	}
+}
+
+// createNodes registers declaration nodes and their nested literal nodes
+// for one package.
+func (b *cgBuilder) createNodes(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			name := fd.Name.Name
+			if fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if rn := recvTypeName(sig.Recv().Type()); rn != "" {
+						name = rn + "." + name
+					}
+				}
+			}
+			n := &CGNode{
+				Ref:  pkg.Path + ":" + name,
+				Pkg:  pkg,
+				Fn:   fn,
+				Decl: fd,
+				name: name,
+			}
+			b.addNode(n)
+			if fn != nil {
+				b.graph.byFn[fn] = n
+			}
+			b.createLitNodes(n)
+		}
+	}
+}
+
+// addNode registers a node, keeping the first declaration on ref
+// collision (Go forbids them outside build-tag games anyway).
+func (b *cgBuilder) addNode(n *CGNode) {
+	if _, ok := b.graph.nodes[n.Ref]; ok {
+		return
+	}
+	b.graph.nodes[n.Ref] = n
+	b.graph.order = append(b.graph.order, n)
+}
+
+// createLitNodes walks a node's body and registers a child node for every
+// directly nested function literal, recursively.
+func (b *cgBuilder) createLitNodes(parent *CGNode) {
+	count := 0
+	walkShallow(parent.Body(), func(n ast.Node) {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		count++
+		child := &CGNode{
+			Ref:  fmt.Sprintf("%s$%d", parent.Ref, count),
+			Pkg:  parent.Pkg,
+			Lit:  lit,
+			name: fmt.Sprintf("%s$%d", parent.name, count),
+		}
+		b.addNode(child)
+		b.litNodes[lit] = child
+		b.createLitNodes(child)
+	})
+}
+
+// walkShallow visits the AST below root but does not descend into nested
+// function literals (their bodies belong to their own graph nodes). The
+// literal node itself is visited.
+func walkShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit != root {
+			visit(lit)
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// analyzeValues scans one package for address-taken functions, escaping
+// literals, and precise local literal bindings.
+func (b *cgBuilder) analyzeValues(pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		// callPos marks expressions in direct call position, which do not
+		// make the referenced function address-taken.
+		callPos := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				callPos[ast.Unparen(call.Fun)] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.Ident:
+				if fn, ok := info.Uses[e].(*types.Func); ok && !callPos[e] {
+					b.addrTaken[fn] = true
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[e.Sel].(*types.Func); ok && !callPos[e] {
+					b.addrTaken[fn] = true
+				}
+			case *ast.FuncLit:
+				if !callPos[e] {
+					// Classified precisely below; default to escaping.
+					b.escaping[e] = true
+				}
+			}
+			return true
+		})
+		// A literal whose only binding is `v := func(){...}` (or `v =`)
+		// with a single assignment to v is precisely call-resolvable
+		// through v; count assignments per object first.
+		assignCount := make(map[types.Object]int)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						assignCount[obj]++
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil || assignCount[obj] != 1 {
+					continue
+				}
+				if v, ok := obj.(*types.Var); !ok || v.IsField() || v.Parent() == nil {
+					continue // fields and package-level vars stay escaping
+				} else if v.Parent() == pkg.Types.Scope() {
+					continue
+				}
+				if node := b.litNodes[lit]; node != nil {
+					b.localBind[obj] = node
+					b.escaping[lit] = false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// objOf resolves an identifier to its object through either table.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// indexSignatures builds the dynamic-call index over address-taken
+// declared functions and escaping literals.
+func (b *cgBuilder) indexSignatures() {
+	for _, n := range b.graph.order {
+		var sig *types.Signature
+		switch {
+		case n.Fn != nil:
+			if !b.addrTaken[n.Fn] {
+				continue
+			}
+			sig, _ = n.Fn.Type().(*types.Signature)
+		case n.Lit != nil:
+			if !b.escaping[n.Lit] {
+				continue
+			}
+			sig, _ = n.Pkg.Info.TypeOf(n.Lit).(*types.Signature)
+		}
+		if sig == nil {
+			continue
+		}
+		key := sigKey(sig)
+		b.bySig[key] = append(b.bySig[key], n)
+	}
+}
+
+// sigKey renders a signature (receiver excluded) for dynamic matching.
+func sigKey(sig *types.Signature) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Params().At(i).Type(), nil))
+	}
+	sb.WriteByte(')')
+	if sig.Variadic() {
+		sb.WriteString("...")
+	}
+	sb.WriteByte('(')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Results().At(i).Type(), nil))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// buildEdges resolves one node's call edges.
+func (b *cgBuilder) buildEdges(n *CGNode) {
+	info := n.Pkg.Info
+	seen := make(map[*CGNode]bool)
+	addEdge := func(callee *CGNode, site token.Pos, kind EdgeKind) {
+		if callee == nil || seen[callee] {
+			return
+		}
+		seen[callee] = true
+		n.Edges = append(n.Edges, CGEdge{Callee: callee, Site: site, Kind: kind})
+	}
+	walkShallow(n.Body(), func(node ast.Node) {
+		switch e := node.(type) {
+		case *ast.FuncLit:
+			// Defining a literal on this path conservatively implies it
+			// may execute on it.
+			addEdge(b.litNodes[e], e.Pos(), EdgeContains)
+		case *ast.CallExpr:
+			b.resolveCall(n, e, info, addEdge)
+		}
+	})
+}
+
+// resolveCall adds the edges for one call expression.
+func (b *cgBuilder) resolveCall(n *CGNode, call *ast.CallExpr, info *types.Info, addEdge func(*CGNode, token.Pos, EdgeKind)) {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		addEdge(b.litNodes[f], call.Pos(), EdgeCall)
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			addEdge(b.graph.byFn[obj], call.Pos(), EdgeCall)
+		case *types.Var:
+			if lit := b.localBind[obj]; lit != nil {
+				addEdge(lit, call.Pos(), EdgeCall)
+			} else {
+				b.dynamicEdges(obj.Type(), call.Pos(), addEdge)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return
+				}
+				if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+					b.chaEdges(iface, m, call.Pos(), addEdge)
+				} else {
+					addEdge(b.graph.byFn[m], call.Pos(), EdgeCall)
+				}
+			case types.FieldVal:
+				b.dynamicEdges(sel.Type(), call.Pos(), addEdge)
+			}
+			return
+		}
+		// Package-qualified reference: pkg.Func or pkg.FuncVar.
+		switch obj := info.Uses[f.Sel].(type) {
+		case *types.Func:
+			addEdge(b.graph.byFn[obj], call.Pos(), EdgeCall)
+		case *types.Var:
+			b.dynamicEdges(obj.Type(), call.Pos(), addEdge)
+		}
+	}
+}
+
+// dynamicEdges adds signature-matched edges for a call through a func
+// value of type t.
+func (b *cgBuilder) dynamicEdges(t types.Type, site token.Pos, addEdge func(*CGNode, token.Pos, EdgeKind)) {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, callee := range b.bySig[sigKey(sig)] {
+		addEdge(callee, site, EdgeDynamic)
+	}
+}
+
+// chaEdges adds class-hierarchy edges for an interface method call: the
+// same-named method of every module type whose method set satisfies the
+// interface.
+func (b *cgBuilder) chaEdges(iface *types.Interface, m *types.Func, site token.Pos, addEdge func(*CGNode, token.Pos, EdgeKind)) {
+	for _, named := range b.namedTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), m.Name())
+		impl, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		addEdge(b.graph.byFn[impl], site, EdgeInterface)
+	}
+}
+
+// recvTypeName returns the receiver's named-type name, stripping pointers.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

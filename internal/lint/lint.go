@@ -39,8 +39,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Analyzer is one invariant checker. Run inspects the pass's package and
-// reports findings through the pass.
+// Analyzer is one invariant checker. Per-package analyzers set Run;
+// whole-program analyzers (which need the cross-package call graph) set
+// RunProgram instead. Exactly one of the two must be non-nil.
 type Analyzer struct {
 	// Name is the short identifier used in output and ignore directives.
 	Name string
@@ -48,6 +49,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one type-checked package.
 	Run func(*Pass)
+	// RunProgram executes the analyzer once over the whole program.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one (analyzer, package) execution and collects its
@@ -76,13 +79,45 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Pkg.Info.TypeOf(e)
 }
 
+// Program is the whole-program view shared by RunProgram analyzers: every
+// loaded package plus the call graph over them. It is built once per Run
+// invocation, lazily, only when the analyzer list contains a program
+// analyzer.
+type Program struct {
+	// Pkgs are the loaded packages in import-path order.
+	Pkgs []*Package
+	// Fset resolves positions across all packages.
+	Fset *token.FileSet
+	// Graph is the module call graph.
+	Graph *CallGraph
+}
+
+// ProgramPass carries one (analyzer, program) execution and collects its
+// diagnostics.
+type ProgramPass struct {
+	// Prog is the program under analysis.
+	Prog *Program
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
 	file      string
 	line      int
 	analyzer  string
 	hasReason bool
-	pos       token.Pos
+	position  token.Position
 }
 
 var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
@@ -103,7 +138,7 @@ func collectIgnores(fset *token.FileSet, pkg *Package) []ignoreDirective {
 					line:      pos.Line,
 					analyzer:  m[1],
 					hasReason: strings.TrimSpace(m[2]) != "",
-					pos:       c.Slash,
+					position:  pos,
 				})
 			}
 		}
@@ -111,41 +146,70 @@ func collectIgnores(fset *token.FileSet, pkg *Package) []ignoreDirective {
 	return out
 }
 
-// Run executes every analyzer over every package, applies ignore
-// directives, and returns the surviving diagnostics sorted by position.
+// Run executes every analyzer over every package — per-package analyzers
+// on each package, program analyzers once over the whole set with the
+// call graph — applies ignore directives, and returns the surviving
+// diagnostics sorted by position. Ignore directives are collected across
+// all packages before filtering, so a program analyzer's finding is
+// suppressible at its position regardless of which package's reachability
+// produced it.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	var ignores []ignoreDirective
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg.Fset, pkg)
-		suppressed := func(d Diagnostic) bool {
-			for _, ig := range ignores {
-				if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
-					continue
-				}
-				if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
-					return true
-				}
+		ignores = append(ignores, collectIgnores(pkg.Fset, pkg)...)
+	}
+	suppressed := func(d Diagnostic) bool {
+		for _, ig := range ignores {
+			if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
+				continue
 			}
-			return false
+			if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+				return true
+			}
 		}
+		return false
+	}
+	var diags []Diagnostic
+	report := func(ds []Diagnostic) {
+		for _, d := range ds {
+			if !suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, az := range analyzers {
+			if az.Run == nil {
+				continue
+			}
 			pass := &Pass{Pkg: pkg, Fset: pkg.Fset, analyzer: az}
 			az.Run(pass)
-			for _, d := range pass.diags {
-				if !suppressed(d) {
-					diags = append(diags, d)
-				}
-			}
+			report(pass.diags)
 		}
-		// A directive without a reason defeats the audit trail: report it.
-		for _, ig := range ignores {
-			if !ig.hasReason {
-				diags = append(diags, Diagnostic{
-					Analyzer: "lintdirective",
-					Pos:      pkg.Fset.Position(ig.pos),
-					Message:  fmt.Sprintf("//lint:ignore %s directive is missing a reason", ig.analyzer),
-				})
-			}
+	}
+	var prog *Program
+	for _, az := range analyzers {
+		if az.RunProgram == nil {
+			continue
+		}
+		if prog == nil && len(pkgs) > 0 {
+			prog = &Program{Pkgs: pkgs, Fset: pkgs[0].Fset, Graph: BuildCallGraph(pkgs)}
+		}
+		if prog == nil {
+			continue
+		}
+		pass := &ProgramPass{Prog: prog, analyzer: az}
+		az.RunProgram(pass)
+		report(pass.diags)
+	}
+	// A directive without a reason defeats the audit trail: report it.
+	for _, ig := range ignores {
+		if !ig.hasReason {
+			diags = append(diags, Diagnostic{
+				Analyzer: "lintdirective",
+				Pos:      ig.position,
+				Message:  fmt.Sprintf("//lint:ignore %s directive is missing a reason", ig.analyzer),
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

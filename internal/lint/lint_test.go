@@ -133,11 +133,26 @@ func TestErrDropGolden(t *testing.T) {
 func TestHotallocGolden(t *testing.T) {
 	runGolden(t, "hotalloc", Hotalloc(HotallocConfig{
 		MatPath: modulePath + "/internal/mat",
-		Hot: map[string][]string{
-			modulePath + "/internal/lint/testdata/hotalloc": {
-				"tick", "tickfn", "tick2",
-			},
-		},
+		Roots:   []FuncRef{modulePath + "/internal/lint/testdata/hotalloc:filter.tick"},
+		Cold:    []FuncRef{modulePath + "/internal/lint/testdata/hotalloc:filter.cold"},
+	}))
+}
+
+func TestPuretickGolden(t *testing.T) {
+	runGolden(t, "puretick", Puretick(PuretickConfig{
+		Roots:     []FuncRef{modulePath + "/internal/lint/testdata/puretick:tick"},
+		ClockPath: clockPath,
+		Sinks:     []string{"fmt"},
+	}))
+}
+
+func TestMapIterGolden(t *testing.T) {
+	runGolden(t, "mapiter", MapIter(MapIterConfig{Sinks: []string{"fmt"}}))
+}
+
+func TestSharedWriteGolden(t *testing.T) {
+	runGolden(t, "sharedwrite", SharedWrite(SharedWriteConfig{
+		Runners: []FuncRef{modulePath + "/internal/lint/testdata/sharedwrite:pool"},
 	}))
 }
 
@@ -156,7 +171,10 @@ func TestIgnoreDirectives(t *testing.T) {
 }
 
 func TestDefaultAnalyzers(t *testing.T) {
-	want := []string{"floatcmp", "stateindex", "exhaustive", "errdrop", "hotalloc", "determinism"}
+	want := []string{
+		"floatcmp", "stateindex", "exhaustive", "errdrop", "hotalloc",
+		"determinism", "puretick", "mapiter", "sharedwrite",
+	}
 	azs := DefaultAnalyzers()
 	if len(azs) != len(want) {
 		t.Fatalf("DefaultAnalyzers returned %d analyzers, want %d", len(azs), len(want))

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +11,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -184,6 +186,79 @@ func isSourceFile(name string) bool {
 		!strings.HasPrefix(name, "_")
 }
 
+// knownOS and knownArch mirror go/build's recognized GOOS/GOARCH values
+// for implicit filename constraints (name_GOOS.go, name_GOARCH.go,
+// name_GOOS_GOARCH.go).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true, "zos": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"wasm": true,
+}
+
+// fileSuffixOK evaluates the implicit GOOS/GOARCH filename constraints
+// against the host platform (delint analyzes the build it runs on, like
+// the compiler it fronts).
+func fileSuffixOK(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) >= 3 {
+		osPart, archPart := parts[len(parts)-2], parts[len(parts)-1]
+		if knownOS[osPart] && knownArch[archPart] {
+			return osPart == runtime.GOOS && archPart == runtime.GOARCH
+		}
+	}
+	if len(parts) >= 2 {
+		switch last := parts[len(parts)-1]; {
+		case knownOS[last]:
+			return last == runtime.GOOS
+		case knownArch[last]:
+			return last == runtime.GOARCH
+		}
+	}
+	return true
+}
+
+// buildTagsOK evaluates the parsed file's //go:build constraint (if any)
+// for the host platform. Only comments above the package clause are
+// considered, matching the compiler's placement rule.
+func buildTagsOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: include, let the build complain
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied resolves one build tag for the host: GOOS, GOARCH,
+// the gc toolchain, and every go1.N release tag (delint runs on the
+// module's own toolchain, which satisfies the module's go directive).
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
 // loadDir loads the package in dir, deriving its import path from the
 // module root.
 func (l *Loader) loadDir(dir string) (*Package, error) {
@@ -219,12 +294,15 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !isSourceFile(e.Name()) {
+		if e.IsDir() || !isSourceFile(e.Name()) || !fileSuffixOK(e.Name()) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !buildTagsOK(f) {
+			continue
 		}
 		files = append(files, f)
 	}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestLoaderResolvesTestdataModule covers import-path derivation: a
+// loader rooted inside the module tree resolves the enclosing go.mod and
+// derives package paths relative to the module root, testdata included.
+func TestLoaderResolvesTestdataModule(t *testing.T) {
+	loader, err := NewLoader("testdata/loader/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != modulePath {
+		t.Errorf("ModulePath = %q, want %q", loader.ModulePath, modulePath)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	want := modulePath + "/internal/lint/testdata/loader/tagged"
+	if pkgs[0].Path != want {
+		t.Errorf("package path = %q, want %q", pkgs[0].Path, want)
+	}
+}
+
+// TestLoaderBuildConstraints covers both constraint forms: a //go:build
+// tag that is never satisfied, and an implicit _GOOS filename suffix for
+// a foreign platform. Including either file would produce a duplicate
+// declaration or a platform mismatch; excluding them leaves a clean
+// single-file package.
+func TestLoaderBuildConstraints(t *testing.T) {
+	loader, err := NewLoader("testdata/loader/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error (an excluded file was loaded): %v", terr)
+	}
+	wantFiles := 1
+	if runtime.GOOS == "windows" {
+		wantFiles = 2 // tagged_windows.go joins the package there
+	}
+	if len(pkg.Files) != wantFiles {
+		t.Errorf("loaded %d files, want %d", len(pkg.Files), wantFiles)
+	}
+	scope := pkg.Types.Scope()
+	if scope.Lookup("InEveryBuild") == nil {
+		t.Error("InEveryBuild missing from package scope")
+	}
+	if got := scope.Lookup("OnWindows") != nil; got != (runtime.GOOS == "windows") {
+		t.Errorf("OnWindows present = %v on %s", got, runtime.GOOS)
+	}
+}
+
+// TestLoaderPartialFailure covers the partial-load contract: a package
+// that fails type-checking is still returned with its TypeErrors
+// populated, so analyzers run and the driver decides how to surface the
+// breakage.
+func TestLoaderPartialFailure(t *testing.T) {
+	loader, err := NewLoader("testdata/loader/typeerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("expected type errors, got none")
+	}
+	found := false
+	for _, terr := range pkg.TypeErrors {
+		if strings.Contains(terr.Error(), "undefinedIdentifier") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("type errors %v do not mention undefinedIdentifier", pkg.TypeErrors)
+	}
+	if pkg.Types == nil || len(pkg.Files) != 1 {
+		t.Error("partially checked package should still carry its AST and types")
+	}
+}
+
+// TestLoaderMissingDir covers the hard-failure path: a pattern that
+// names no directory is an error, not an empty result.
+func TestLoaderMissingDir(t *testing.T) {
+	loader, err := NewLoader("testdata/loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("./no-such-dir"); err == nil {
+		t.Error("loading a missing directory should fail")
+	}
+}
+
+// TestBuildTagHelpers pins the tag-resolution rules the loader applies.
+func TestBuildTagHelpers(t *testing.T) {
+	for tag, want := range map[string]bool{
+		runtime.GOOS:     true,
+		runtime.GOARCH:   true,
+		"gc":             true,
+		"go1.22":         true,
+		"lintneverbuild": false,
+		"cgo":            false,
+	} {
+		if got := buildTagSatisfied(tag); got != want {
+			t.Errorf("buildTagSatisfied(%q) = %v, want %v", tag, got, want)
+		}
+	}
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	for name, want := range map[string]bool{
+		"plain.go":                       true,
+		"x_" + runtime.GOOS + ".go":      true,
+		"x_" + otherOS + ".go":           false,
+		"x_" + otherOS + "_amd64.go":     false,
+		"x_notaplatform.go":              true,
+		"x_" + runtime.GOOS + "_wasm.go": runtime.GOARCH == "wasm",
+	} {
+		if got := fileSuffixOK(name); got != want {
+			t.Errorf("fileSuffixOK(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterConfig scopes the mapiter analyzer.
+type MapIterConfig struct {
+	// Sinks are import-path prefixes whose calls inside a map-range body
+	// mark the iteration as order-sensitive (e.g. "fmt", the telemetry
+	// package): results flowing into them would leak Go's randomized map
+	// iteration order into the output.
+	Sinks []string
+}
+
+// MapIter returns the mapiter analyzer: ranging over a map is fine for
+// order-insensitive folds (counting, set insertion, min/max), but a range
+// body that appends to a slice, concatenates a string, sends on a
+// channel, or calls an output sink makes the result depend on Go's
+// randomized map iteration order and breaks bit-exact replay. The
+// sanctioned forms are iterating a canonically ordered key slice, or
+// sorting the collected results immediately after the loop (a sort call
+// after the range in the same function is recognized and exempts it).
+func MapIter(cfg MapIterConfig) *Analyzer {
+	return &Analyzer{
+		Name: "mapiter",
+		Doc: "forbid map iteration whose results feed order-sensitive sinks " +
+			"(append, string concatenation, channel sends, output packages) " +
+			"unless canonicalized by a sort after the loop",
+		Run: func(pass *Pass) { runMapIter(pass, cfg) },
+	}
+}
+
+func runMapIter(pass *Pass, cfg MapIterConfig) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				sink, sensitive := orderSensitiveMapRange(pass.Pkg.Info, rng, cfg.Sinks)
+				if !sensitive || sortedAfter(pass.Pkg.Info, fd.Body, rng.End()) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"map iteration order leaks into %s; iterate a canonically ordered key slice or sort the result after the loop",
+					sink)
+				return true
+			})
+		}
+	}
+}
+
+// orderSensitiveMapRange reports whether rng ranges over a map and its
+// body feeds an order-sensitive sink, naming the sink for the diagnostic.
+// Order-insensitive folds — map/set insertion, counters, min/max — pass.
+func orderSensitiveMapRange(info *types.Info, rng *ast.RangeStmt, sinks []string) (string, bool) {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return "", false
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return "", false
+	}
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			sink = "a channel send"
+			return false
+		case *ast.AssignStmt:
+			// String concatenation: s += x or s = s + x.
+			if e.Tok == token.ADD_ASSIGN && isString(info.TypeOf(e.Lhs[0])) {
+				sink = "a string concatenation"
+				return false
+			}
+			if e.Tok == token.ASSIGN && len(e.Lhs) == 1 && len(e.Rhs) == 1 {
+				if bin, ok := e.Rhs[0].(*ast.BinaryExpr); ok && bin.Op == token.ADD && isString(info.TypeOf(e.Lhs[0])) {
+					sink = "a string concatenation"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(e.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					sink = "an append"
+					return false
+				}
+			}
+			if path := calleePkgPath(info, e); path != "" {
+				for _, s := range sinks {
+					if path == s || strings.HasPrefix(path, s+"/") {
+						sink = "a call into " + path
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink, sink != ""
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// calleePkgPath returns the declaring package path of a call's callee, or
+// "" for builtins, local closures, and unresolved calls.
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+		return fn.Pkg().Path()
+	}
+	return ""
+}
+
+// sortedAfter reports whether body contains a sort.* or slices.Sort* call
+// positioned after pos — the collect-then-canonicalize idiom that makes a
+// map-order-dependent accumulation deterministic again.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		switch path := calleePkgPath(info, call); path {
+		case "sort":
+			found = true
+		case "slices":
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

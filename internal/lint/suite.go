@@ -12,10 +12,21 @@ const (
 	sensorsPath   = modulePath + "/internal/sensors"
 	clockPath     = modulePath + "/internal/clock"
 	telemetryPath = modulePath + "/internal/telemetry"
+	corePath      = modulePath + "/internal/core"
+	runnerPath    = modulePath + "/internal/runner"
+	fgPath        = modulePath + "/internal/fg"
 )
 
 // DefaultAnalyzers returns the project's full analyzer suite, tuned to
-// DeLorean's invariants.
+// DeLorean's invariants. The per-package analyzers (floatcmp, stateindex,
+// exhaustive, errdrop, determinism, mapiter, sharedwrite) run on each
+// package independently; the whole-program analyzers (hotalloc, puretick)
+// run once over the call graph of everything loaded. Determinism and
+// puretick deliberately overlap: determinism is a package-scoped fence
+// around the replay-sensitive directories (it also covers code that is
+// not yet wired into the tick path), while puretick is a reachability
+// proof with no allowlist — code moved out of the fenced packages stays
+// covered as long as the tick path calls it.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp(),
@@ -41,44 +52,64 @@ func DefaultAnalyzers() []*Analyzer {
 				modulePath + "/internal/sim",
 				modulePath + "/internal/experiments",
 				modulePath + "/internal/mission",
-				modulePath + "/internal/core",
-				modulePath + "/internal/runner",
-				modulePath + "/internal/telemetry",
+				corePath,
+				runnerPath,
+				telemetryPath,
 			},
 			ClockPath: clockPath,
+		}),
+		Puretick(PuretickConfig{
+			Roots: []FuncRef{
+				corePath + ":Pipeline.Tick",
+				runnerPath + ":reduceTelemetry",
+			},
+			ClockPath: clockPath,
+			Sinks:     defaultSinks(),
+		}),
+		MapIter(MapIterConfig{Sinks: defaultSinks()}),
+		SharedWrite(SharedWriteConfig{
+			Runners: []FuncRef{runnerPath + ":Do"},
 		}),
 	}
 }
 
-// defaultHotalloc declares the repository's zero-allocation hot set: the
-// per-tick EKF cycle, the factor-graph inference cache, and the
-// checkpoint recording path. Cold one-time growth lives in helpers kept
-// off this list (ekf.refreshDT, fg.growScratch).
+// defaultSinks are the order-sensitive output package prefixes: anything
+// formatted (fmt) or recorded in the run report (telemetry) must not
+// observe map iteration order.
+func defaultSinks() []string {
+	return []string{"fmt", telemetryPath}
+}
+
+// defaultHotalloc declares the roots and cold cut points of the module's
+// zero-allocation hot set. The hot set itself is derived by call-graph
+// reachability — the per-tick defense pipeline entry plus the
+// factor-graph inference kernels, minus the sanctioned episodic/lazy
+// paths below. There is no hand-maintained function list: extract a
+// helper from Tick's callees and it is hot automatically.
 func defaultHotalloc() HotallocConfig {
 	return HotallocConfig{
 		MatPath: modulePath + "/internal/mat",
-		Hot: map[string][]string{
-			modulePath + "/internal/ekf": {
-				"Predict", "PredictHybrid", "Correct", "propagateCovariance",
-			},
-			modulePath + "/internal/fg": {
-				"score", "compute", "Marginal", "MarginalsInto", "MLE",
-			},
-			modulePath + "/internal/checkpoint": {
-				"Record", "RecordInput",
-			},
-			// The staged defense pipeline's per-tick path: the tick engine,
-			// the shadow/reference kernels, the cost-model charge path, and
-			// the recovery-stage Update methods that fly every recovery
-			// tick. Episodic entry/exit work (triage, revalidateSensors,
-			// exitRecovery) is deliberately off this list — it runs per
-			// episode, not per tick, and owns the pipeline's cold
-			// allocations.
-			modulePath + "/internal/core": {
-				"Tick", "defenseTick", "active", "charge", "chargeTick",
-				"chargeRecoveryTick", "stepShadowStrapdown", "anchorShadow",
-				"referencePS", "estimatePS", "modelAccel", "Update",
-			},
+		Roots: []FuncRef{
+			corePath + ":Pipeline.Tick",
+			fgPath + ":Graph.Marginal",
+			fgPath + ":Graph.MarginalsInto",
+			fgPath + ":Graph.MLE",
+		},
+		// Episodic or one-time paths sanctioned to allocate. Each runs per
+		// alert episode or per configuration change, never per tick, and
+		// owns the pipeline's cold allocations (triage snapshots, widened
+		// diagnosis graphs, lazy workspace growth, gain refresh on
+		// operating-point drift).
+		Cold: []FuncRef{
+			corePath + ":Pipeline.triage",
+			corePath + ":Pipeline.widenDiagnosis",
+			corePath + ":Pipeline.revalidateSensors",
+			corePath + ":Pipeline.exitRecovery",
+			corePath + ":Pipeline.triggerDetail",
+			modulePath + "/internal/ekf:Filter.refreshDT",
+			modulePath + "/internal/mat:LU.grow",
+			fgPath + ":Graph.growScratch",
+			modulePath + "/internal/recovery:LQR.refreshRoverGain",
 		},
 	}
 }

@@ -1,42 +1,82 @@
-// Package hotalloc is golden-test input for the hotalloc analyzer: tick,
-// tickfn, and tick2 are declared hot in the test's config; cold is not.
+// Package hotalloc is golden-test input for the hotalloc v2 analyzer.
+// The hot set is derived from the declared root filter.tick: helper,
+// tickfn, and tick2 are hot because tick (transitively) calls them; cold
+// is a declared cut point, so neither it nor colder is checked; and
+// unreached is never visited at all.
 package hotalloc
 
 import "repro/internal/mat"
 
 type filter struct {
-	p   *mat.Mat
-	ws  *mat.Mat
-	buf []float64
+	p    *mat.Mat
+	ws   *mat.Mat
+	buf  []float64
+	n    int
+	hook func()
 }
 
-// tick is declared hot: every allocating call below must be flagged.
-func (f *filter) tick(fj *mat.Mat) {
-	tmp := mat.New(12, 12) // want "allocating mat call New in hot function tick"
+// logger is an interface sink used to provoke boxing diagnostics.
+type logger interface {
+	log(v any)
+}
+
+// pair is a concrete non-pointer value: passing it to an interface
+// parameter boxes it.
+type pair struct{ a, b float64 }
+
+// tick is the declared root: every allocating call below must be flagged.
+func (f *filter) tick(fj *mat.Mat, lg logger) {
+	tmp := mat.New(12, 12) // want "allocating mat call New in hot function hotalloc.filter.tick"
 	_ = tmp
-	f.p = fj.Mul(f.p)              // want "allocating mat method Mul in hot function tick"
+	f.p = fj.Mul(f.p)              // want "allocating mat method Mul in hot function hotalloc.filter.tick"
 	f.p = f.p.T()                  // want "TransposeInto kernel"
-	scratch := make([]float64, 12) // want "make in hot function tick"
+	scratch := make([]float64, 12) // want "make in hot function hotalloc.filter.tick"
 	_ = scratch
 	mat.MulInto(f.ws, fj, f.p)     // in-place kernels are the sanctioned form
 	f.buf = append(f.buf[:0], 1.0) // append into a reused buffer is fine
+	f.hook = func() { f.n++ }      // want "closure escapes hot function hotalloc.filter.tick"
+	lg.log(pair{1, 2})             // want "hotalloc.pair boxed into any in hot function hotalloc.filter.tick"
+	lg.log(f)                      // pointers are interface-word sized: no boxing
+	lg.log(3)                      // constants convert to static interface data
+	f.helper()
+	f.tickfn()
+	_ = f.tick2(mat.Vec{1, 2})
+	f.cold()
 }
 
-// tickfn covers function literals: they run on the hot path too.
+// helper is not named anywhere in the configuration: it is hot because
+// tick calls it, and stays hot no matter where it moves.
+func (f *filter) helper() {
+	f.p = f.p.Clone() // want "allocating mat method Clone in hot function hotalloc.filter.helper"
+}
+
+// tickfn covers function literals: a literal bound once to a local and
+// invoked runs on the hot path (and does not escape).
 func (f *filter) tickfn() {
 	g := func() {
-		_ = mat.NewVec(3) // want "allocating mat call NewVec in hot function tickfn"
+		_ = mat.NewVec(3) // want "allocating mat call NewVec in hot function hotalloc.filter.tickfn"
 	}
 	g()
 }
 
 // tick2 covers allocating methods on the Vec type.
 func (f *filter) tick2(v mat.Vec) mat.Vec {
-	return v.Add(v) // want "allocating mat method Add in hot function tick2"
+	return v.Add(v) // want "allocating mat method Add in hot function hotalloc.filter.tick2"
 }
 
-// cold is not in the hot list: the same calls pass unremarked.
+// cold is a declared cut point: the same calls pass unremarked, and
+// colder — reachable only through it — is cut with it.
 func (f *filter) cold() {
 	f.p = mat.Identity(12).Scale(0.1)
 	_ = make([]float64, 4)
+	f.colder()
+}
+
+func (f *filter) colder() {
+	_ = make([]float64, 8)
+}
+
+// unreached is not reachable from the root: unchecked.
+func (f *filter) unreached() {
+	_ = mat.New(3, 3)
 }

@@ -1,0 +1,5 @@
+// Package tagged is loader-test input for build-constraint filtering.
+package tagged
+
+// InEveryBuild is declared in the unconstrained file.
+const InEveryBuild = true

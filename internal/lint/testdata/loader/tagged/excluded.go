@@ -1,0 +1,7 @@
+//go:build lintneverbuilds
+
+package tagged
+
+// This file's tag is never satisfied; if the loader includes it anyway
+// the test sees the duplicate declaration as a type error.
+const InEveryBuild = false

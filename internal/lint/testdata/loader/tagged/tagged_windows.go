@@ -1,0 +1,5 @@
+package tagged
+
+// OnWindows is only part of the package when GOOS=windows (implicit
+// filename constraint).
+const OnWindows = true

@@ -1,0 +1,8 @@
+// Package typeerr is loader-test input: it type-checks with errors, and
+// the loader must still return the package (analyzers run on partially
+// checked packages; the driver surfaces the errors).
+package typeerr
+
+func broken() int {
+	return undefinedIdentifier
+}

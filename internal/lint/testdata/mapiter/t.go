@@ -1,0 +1,68 @@
+// Package mapiter is golden-test input for the mapiter analyzer
+// (configured with the fmt sink).
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+)
+
+// countFold is an order-insensitive fold: fine.
+func countFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// appendLeak accumulates map keys in iteration order.
+func appendLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order leaks into an append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendSorted collects then canonicalizes: the sanctioned idiom.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printLeak feeds iteration order straight into an output sink.
+func printLeak(m map[string]int) {
+	for k, v := range m { // want "map iteration order leaks into a call into fmt"
+		fmt.Println(k, v)
+	}
+}
+
+// concatLeak builds a string in iteration order.
+func concatLeak(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order leaks into a string concatenation"
+		s += k
+	}
+	return s
+}
+
+// sendLeak races iteration order onto a channel.
+func sendLeak(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration order leaks into a channel send"
+		ch <- k
+	}
+}
+
+// sliceRange ranges over a slice: ordered, unrestricted.
+func sliceRange(xs []string) string {
+	s := ""
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+// Package puretick is golden-test input for the puretick analyzer: the
+// reachability proof is rooted at tick, so helper's select is flagged
+// through the call chain while unreached's clock read is not.
+package puretick
+
+import (
+	"math/rand"
+	"time"
+)
+
+func tick(m map[string]float64, ch chan int) float64 {
+	go drain(ch)    // want "goroutine spawn on the deterministic tick path"
+	t := time.Now() // want "wall-clock read time.Now on the deterministic tick path"
+	_ = t
+	v := rand.Float64() // want "global math/rand source"
+
+	// Order-insensitive fold over a map: fine.
+	sum := 0.0
+	for _, x := range m {
+		sum += x
+	}
+
+	// Map order leaking into a string: scheduling-independent but
+	// iteration-order dependent, so the replay breaks bit-exactness.
+	names := ""
+	for k := range m { // want "map iteration order leaks into a string concatenation on the deterministic tick path"
+		names += k
+	}
+	_ = names
+
+	helper(ch)
+	return sum + v
+}
+
+// helper is flagged through the chain tick → helper.
+func helper(ch chan int) {
+	select { // want "select on the deterministic tick path"
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// unreached is outside the proof: the clock read passes unremarked.
+func unreached() time.Time {
+	return time.Now()
+}

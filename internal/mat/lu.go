@@ -28,6 +28,21 @@ func NewLU(n int) *LU {
 	return &LU{lu: New(n, n), piv: make([]int, n), col: NewVec(n), x: NewVec(n)}
 }
 
+// grow sizes the factorization workspace for n×n systems. Cold path: it
+// allocates only when the system outgrows the workspace (declared in the
+// hotalloc analyzer's cold list), so repeated same-sized factorizations
+// and solves stay allocation-free.
+func (f *LU) grow(n int) {
+	if f.lu == nil || f.lu.Rows != n || f.lu.Cols != n {
+		f.lu = New(n, n)
+		f.piv = make([]int, n)
+	}
+	if len(f.col) != n {
+		f.col = NewVec(n)
+		f.x = NewVec(n)
+	}
+}
+
 // FactorLU computes the LU factorization of a square matrix a with partial
 // pivoting. It returns ErrSingular when a pivot underflows.
 func FactorLU(a *Mat) (*LU, error) {
@@ -48,10 +63,7 @@ func (f *LU) Refactor(a *Mat) error {
 		return ErrDimensionMismatch
 	}
 	n := a.Rows
-	if f.lu == nil || f.lu.Rows != n || f.lu.Cols != n {
-		f.lu = New(n, n)
-		f.piv = make([]int, n)
-	}
+	f.grow(n)
 	lu, piv := f.lu, f.piv
 	CloneInto(lu, a)
 	for i := range piv {
@@ -158,10 +170,7 @@ func (f *LU) SolveInto(dst, b *Mat) error {
 		return ErrDimensionMismatch
 	}
 	mustNotAlias(dst, b, "SolveInto")
-	if len(f.col) != n {
-		f.col = NewVec(n)
-		f.x = NewVec(n)
-	}
+	f.grow(n)
 	bc, dc := b.Cols, dst.Cols
 	for j := 0; j < b.Cols; j++ {
 		for i := 0; i < n; i++ {

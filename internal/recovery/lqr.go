@@ -49,12 +49,27 @@ type LQR struct {
 	kRover   *mat.Mat
 	roverYaw float64
 	roverVel float64
+
+	// Workspaces: Update runs every recovery tick on the zero-allocation
+	// hot path, so the error and action vectors are preallocated here and
+	// reused via the *Into kernels.
+	errQuad  mat.Vec
+	duQuad   mat.Vec
+	errRover mat.Vec
+	duRover  mat.Vec
 }
 
 // NewLQR synthesizes the recovery controller for a profile at control
 // period dt.
 func NewLQR(p vehicle.Profile, dt float64) (*LQR, error) {
-	l := &LQR{profile: p, dt: dt}
+	l := &LQR{
+		profile:  p,
+		dt:       dt,
+		errQuad:  mat.NewVec(12),
+		duQuad:   mat.NewVec(4),
+		errRover: mat.NewVec(4),
+		duRover:  mat.NewVec(2),
+	}
 	if p.IsQuad() {
 		k, err := quadGain(p.Quad, dt)
 		if err != nil {
@@ -83,10 +98,13 @@ func (l *LQR) Update(est vehicle.State, target mission.Waypoint, dt float64) veh
 }
 
 func (l *LQR) updateQuad(est vehicle.State, target mission.Waypoint) vehicle.Input {
-	// Reference: at the target waypoint, level hover.
-	dx := mat.Vec(est.Vec())
-	ref := mat.Vec{target.X, target.Y, target.Z, 0, 0, 0, 0, 0, 0, 0, 0, 0}
-	err := dx.Sub(ref)
+	// Reference: at the target waypoint, level hover — so the error is the
+	// state vector with the target position subtracted.
+	err := l.errQuad
+	est.VecInto(err)
+	err[0] -= target.X
+	err[1] -= target.Y
+	err[2] -= target.Z
 	// Wrap angular errors.
 	for i := 6; i <= 8; i++ {
 		err[i] = vehicle.WrapAngle(err[i])
@@ -98,7 +116,8 @@ func (l *LQR) updateQuad(est vehicle.State, target mission.Waypoint) vehicle.Inp
 	for i := 0; i < 3; i++ {
 		err[i] = vehicle.Clamp(err[i], -maxPosErr, maxPosErr)
 	}
-	du := l.kQuad.MulVec(err)
+	mat.MulVecInto(l.duQuad, l.kQuad, err)
+	du := l.duQuad
 	q := l.profile.Quad
 	u := vehicle.Input{
 		Thrust: q.HoverThrust() - du[0],
@@ -178,12 +197,7 @@ func (l *LQR) updateRover(est vehicle.State, target mission.Waypoint) vehicle.In
 	if l.kRover == nil ||
 		math.Abs(vehicle.WrapAngle(est.Yaw-l.roverYaw)) > 0.3 ||
 		math.Abs(v-l.roverVel) > 0.8 {
-		k, err := roverGain(l.profile.Rover, est.Yaw, v, l.dt)
-		if err == nil {
-			l.kRover = k
-			l.roverYaw = est.Yaw
-			l.roverVel = v
-		}
+		l.refreshRoverGain(est.Yaw, v)
 	}
 	if l.kRover == nil {
 		return vehicle.Input{}
@@ -197,18 +211,32 @@ func (l *LQR) updateRover(est vehicle.State, target mission.Waypoint) vehicle.In
 	if dist < 4 {
 		speedRef *= dist / 4
 	}
-	errVec := mat.Vec{
-		vehicle.Clamp(-dx, -8, 8),
-		vehicle.Clamp(-dy, -8, 8),
-		vehicle.WrapAngle(est.Yaw - headingRef),
-		v - speedRef,
-	}
-	du := l.kRover.MulVec(errVec)
+	errVec := l.errRover
+	errVec[0] = vehicle.Clamp(-dx, -8, 8)
+	errVec[1] = vehicle.Clamp(-dy, -8, 8)
+	errVec[2] = vehicle.WrapAngle(est.Yaw - headingRef)
+	errVec[3] = v - speedRef
+	mat.MulVecInto(l.duRover, l.kRover, errVec)
+	du := l.duRover
 	u := vehicle.Input{
 		Thrust: vehicle.Clamp(-du[0], -l.profile.MaxThrust, l.profile.MaxThrust),
 		MYaw:   vehicle.Clamp(-du[1], -l.profile.Rover.MaxSteer, l.profile.Rover.MaxSteer),
 	}
 	return u
+}
+
+// refreshRoverGain re-linearizes the rover model about the current
+// operating point and replaces the cached gain. It runs only when the
+// operating point drifts, so it is a sanctioned cold allocation site
+// (declared in the hotalloc analyzer's cold list). A synthesis failure
+// keeps the previous gain.
+func (l *LQR) refreshRoverGain(yaw, v float64) {
+	k, err := roverGain(l.profile.Rover, yaw, v, l.dt)
+	if err == nil {
+		l.kRover = k
+		l.roverYaw = yaw
+		l.roverVel = v
+	}
 }
 
 // roverGain linearizes the kinematic bicycle about (yaw, v) and solves the

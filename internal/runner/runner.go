@@ -79,13 +79,20 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]sim.Result, error) {
 		return results, fmt.Errorf("runner: job %d (%s): %w", de.index, jobs[de.index].Label, de.err)
 	}
 	if err == nil && opt.Telemetry != nil {
-		// Deterministic reduce: collect per-job telemetry strictly in
-		// submission order.
-		for i := range results {
-			opt.Telemetry.Add(results[i].Telemetry)
-		}
+		reduceTelemetry(results, opt.Telemetry)
 	}
 	return results, err
+}
+
+// reduceTelemetry is the deterministic reduce: per-job telemetry is
+// collected strictly in submission order, never completion order, so the
+// aggregated run report is byte-identical at any worker count. It is a
+// declared root of the puretick proof — everything it reaches must stay
+// free of nondeterminism sources.
+func reduceTelemetry(results []sim.Result, c *telemetry.Collector) {
+	for i := range results {
+		c.Add(results[i].Telemetry)
+	}
 }
 
 // doError carries the job index of a failure out of Do so Run can attach

@@ -13,7 +13,10 @@
 // telemetry is off.
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Kind enumerates the pipeline events a mission can emit.
 type Kind int
@@ -139,7 +142,9 @@ func (s Stage) String() string {
 	case StageRecoveryMonitor:
 		return "recovery_monitor"
 	}
-	return fmt.Sprintf("Stage(%d)", int(s))
+	// strconv.Itoa, unlike fmt, boxes nothing; String is reachable from
+	// the per-tick transition path.
+	return "Stage(" + strconv.Itoa(int(s)) + ")"
 }
 
 // MarshalText renders the kind name into JSON reports.

@@ -59,7 +59,10 @@ func (q Quadcopter) Derivative(s State, u Input, w Wind) State {
 // below ground — the sim layer classifies a hard ground contact as a
 // crash).
 func (q Quadcopter) Step(s State, u Input, w Wind, dt float64) State {
-	out := rk4(s, dt, func(x State) State { return q.Derivative(x, u, w) })
+	// Bound once to a local so the closure provably stays on the stack —
+	// Step runs inside the zero-allocation tick path.
+	deriv := func(x State) State { return q.Derivative(x, u, w) }
+	out := rk4(s, dt, deriv)
 	out.Roll = wrapAngle(out.Roll)
 	out.Pitch = wrapAngle(out.Pitch)
 	out.Yaw = wrapAngle(out.Yaw)

@@ -57,7 +57,10 @@ func (r Rover) Derivative(s State, u Input, w Wind) State {
 // Step advances the rover state by dt seconds with RK4 and enforces the
 // speed limit.
 func (r Rover) Step(s State, u Input, w Wind, dt float64) State {
-	out := rk4(s, dt, func(x State) State { return r.Derivative(x, u, w) })
+	// Bound once to a local so the closure provably stays on the stack —
+	// Step runs inside the zero-allocation tick path.
+	deriv := func(x State) State { return r.Derivative(x, u, w) }
+	out := rk4(s, dt, deriv)
 	out.Yaw = wrapAngle(out.Yaw)
 	out.Z, out.VZ = 0, 0
 	out.Roll, out.Pitch = 0, 0
