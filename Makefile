@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate
+.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate replay-gate record-corpus
 
 all: check
 
@@ -31,6 +31,18 @@ race-runner:
 # pre-refactor golden snapshot, at workers=1 and N.
 equiv-gate:
 	sh scripts/equiv_gate.sh
+
+# Replay-determinism gate: the committed recorded mission
+# (internal/sim/testdata/attack_mission.trace) must replay to the
+# committed golden report byte for byte.
+replay-gate:
+	sh scripts/replay_gate.sh
+
+# Regenerate the committed replay corpus (trace + golden report). A
+# deliberate act: rerun and commit the diff when the mission semantics
+# intentionally change.
+record-corpus:
+	sh scripts/record_corpus.sh
 
 check:
 	sh scripts/check.sh

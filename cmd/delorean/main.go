@@ -1,11 +1,20 @@
 // Command delorean flies one simulated mission with a chosen vehicle,
 // defense strategy, and SDA, printing the mission trace and verdict. It
-// is the interactive entry point for exploring the framework.
+// is the interactive entry point for exploring the framework, and the
+// record/replay tool for the sensor-trace regression corpus.
 //
 // Usage:
 //
 //	delorean -rv ArduCopter -defense DeLorean -attack GPS,accelerometer \
 //	         -attack-start 15 -attack-dur 20 -wind 2 -seed 1
+//
+// Record the mission's sensor stream to a trace file, then replay it —
+// the replayed mission (and its -report bytes) reproduce the recorded
+// run exactly; all mission parameters are restored from the trace
+// header, so -replay needs no other flags:
+//
+//	delorean -attack GPS -record mission.trace -report live.json
+//	delorean -replay mission.trace -report replayed.json
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/attack"
@@ -20,41 +30,83 @@ import (
 	"repro/internal/mission"
 	"repro/internal/sensors"
 	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vehicle"
 )
 
+// options carries the parsed command line. In replay mode every mission
+// parameter is restored from the trace header instead.
+type options struct {
+	rv, defense, path      string
+	attackList, stealthy   string
+	attackStart            float64
+	attackDur              float64
+	windMean               float64
+	maxSec                 float64
+	seed                   int64
+	recordPath, replayPath string
+	reportPath             string
+}
+
 func main() {
-	rv := flag.String("rv", "ArduCopter", "vehicle profile (Pixhawk, Tarot, Sky-Viper, AionR1, ArduCopter, ArduRover)")
-	defense := flag.String("defense", "DeLorean", "defense: None, DeLorean, LQR-O, SSR, PID-Piper")
-	attackList := flag.String("attack", "", "comma-separated sensors to attack (GPS, gyroscope, accelerometer, magnetometer, barometer); empty = no attack")
-	attackStart := flag.Float64("attack-start", 15, "attack start time (s)")
-	attackDur := flag.Float64("attack-dur", 20, "attack duration (s)")
-	stealthy := flag.String("stealthy", "", "stealthy mode: random, gradual, intermittent (empty = persistent full-bias SDA)")
-	path := flag.String("path", "S", "mission path kind: S, MW, C, P1, P2, P3")
-	windMean := flag.Float64("wind", 1, "mean wind (m/s)")
-	seed := flag.Int64("seed", 1, "random seed")
+	var o options
+	flag.StringVar(&o.rv, "rv", "ArduCopter", "vehicle profile (Pixhawk, Tarot, Sky-Viper, AionR1, ArduCopter, ArduRover)")
+	flag.StringVar(&o.defense, "defense", "DeLorean", "defense: None, DeLorean, LQR-O, SSR, PID-Piper")
+	flag.StringVar(&o.attackList, "attack", "", "comma-separated sensors to attack (GPS, gyroscope, accelerometer, magnetometer, barometer); empty = no attack")
+	flag.Float64Var(&o.attackStart, "attack-start", 15, "attack start time (s)")
+	flag.Float64Var(&o.attackDur, "attack-dur", 20, "attack duration (s)")
+	flag.StringVar(&o.stealthy, "stealthy", "", "stealthy mode: random, gradual, intermittent (empty = persistent full-bias SDA)")
+	flag.StringVar(&o.path, "path", "S", "mission path kind: S, MW, C, P1, P2, P3")
+	flag.Float64Var(&o.windMean, "wind", 1, "mean wind (m/s)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.maxSec, "max-sec", 300, "mission time budget (simulated seconds)")
+	flag.StringVar(&o.recordPath, "record", "", "record the sensor stream to this trace file")
+	flag.StringVar(&o.replayPath, "replay", "", "replay a recorded trace (mission parameters come from its header; other flags are ignored)")
+	flag.StringVar(&o.reportPath, "report", "", "write the versioned telemetry run report (JSON) to this file")
 	flag.Parse()
 
-	if err := run(*rv, *defense, *attackList, *attackStart, *attackDur, *stealthy, *path, *windMean, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "delorean:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rv, defense, attackList string, attackStart, attackDur float64, stealthy, path string, windMean float64, seed int64) error {
-	profile, err := vehicle.LookupProfile(vehicle.ProfileName(rv))
+func run(o options) error {
+	if o.replayPath != "" && o.recordPath != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	var tr *trace.Trace
+	if o.replayPath != "" {
+		var err error
+		tr, err = trace.ReadFile(o.replayPath)
+		if err != nil {
+			return err
+		}
+		ho, err := optionsFromHeader(tr.Header)
+		if err != nil {
+			return fmt.Errorf("%s: %w", o.replayPath, err)
+		}
+		// The header replaces every mission parameter; only the output
+		// paths stay with the command line.
+		ho.replayPath, ho.reportPath = o.replayPath, o.reportPath
+		o = ho
+	}
+
+	profile, err := vehicle.LookupProfile(vehicle.ProfileName(o.rv))
 	if err != nil {
 		return err
 	}
-	strategy, err := parseStrategy(defense)
+	strategy, err := parseStrategy(o.defense)
 	if err != nil {
 		return err
 	}
-	kind, err := parsePath(path)
+	kind, err := parsePath(o.path)
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(o.seed))
 	plan := mission.NewOfKind(kind, profile.CruiseAltitude, rng)
 
 	cfg := sim.Config{
@@ -62,32 +114,55 @@ func run(rv, defense, attackList string, attackStart, attackDur float64, stealth
 		Plan:       plan,
 		Strategy:   strategy,
 		WindowSec:  15,
-		WindMean:   windMean,
+		WindMean:   o.windMean,
 		WindGust:   0.5,
 		Seed:       rng.Int63(),
-		MaxSec:     300,
+		MaxSec:     o.maxSec,
 		TraceEvery: 100,
 	}
-	if attackList != "" {
-		targets, err := parseTargets(attackList)
+	var sched *attack.Schedule
+	if o.attackList != "" {
+		targets, err := parseTargets(o.attackList)
 		if err != nil {
 			return err
 		}
 		var sda *attack.SDA
-		if stealthy == "" {
-			sda = attack.New(rng, attack.DefaultParams(), targets, attackStart, attackStart+attackDur)
+		if o.stealthy == "" {
+			sda = attack.New(rng, attack.DefaultParams(), targets, o.attackStart, o.attackStart+o.attackDur)
 		} else {
-			mode, err := parseStealthyMode(stealthy)
+			mode, err := parseStealthyMode(o.stealthy)
 			if err != nil {
 				return err
 			}
 			// Stealthy attacks inject sub-threshold bias: a tenth of the
 			// Table 2 magnitudes.
-			base := attack.New(rng, attack.DefaultParams(), targets, attackStart, attackStart+attackDur)
-			sda = attack.NewWithBias(rng, base.Base().Scale(0.1), attackStart, attackStart+attackDur, mode)
+			base := attack.New(rng, attack.DefaultParams(), targets, o.attackStart, o.attackStart+o.attackDur)
+			sda = attack.NewWithBias(rng, base.Base().Scale(0.1), o.attackStart, o.attackStart+o.attackDur, mode)
 		}
-		cfg.Attacks = attack.NewSchedule(sda)
-		fmt.Printf("SDA (%s) on %v from t=%.0fs to t=%.0fs\n", sda.Mode, targets, attackStart, attackStart+attackDur)
+		sched = attack.NewSchedule(sda)
+		if tr == nil {
+			fmt.Printf("SDA (%s) on %v from t=%.0fs to t=%.0fs\n", sda.Mode, targets, o.attackStart, o.attackStart+o.attackDur)
+		}
+	}
+
+	// Wire the sensor source. Replay mode substitutes the recorded
+	// stream (its injections are baked into the frames, so the live
+	// schedule is discarded); record mode tees the simulator source onto
+	// the trace format.
+	var rec *source.Recorder
+	switch {
+	case tr != nil:
+		cfg.Source = source.NewReplay(tr)
+		fmt.Printf("replaying %d recorded frames from %s\n", len(tr.Frames), o.replayPath)
+	case o.recordPath != "":
+		rec = source.NewRecorder(sim.NewSimSource(sim.SourceConfig{
+			Profile: profile,
+			Seed:    cfg.Seed,
+			Attacks: sched,
+		}))
+		cfg.Source = rec
+	default:
+		cfg.Attacks = sched
 	}
 
 	res, err := sim.Run(cfg)
@@ -96,7 +171,7 @@ func run(rv, defense, attackList string, attackStart, attackDur float64, stealth
 	}
 
 	fmt.Printf("%s mission (%s) on %s, defense %s, wind %.1f m/s\n\n",
-		kind, plan.Kind, profile.Name, strategy, windMean)
+		kind, plan.Kind, profile.Name, strategy, o.windMean)
 	fmt.Println("   t       true position         believed position    state")
 	for _, tp := range res.Trace {
 		state := "cruise"
@@ -128,8 +203,107 @@ func run(rv, defense, attackList string, attackStart, attackDur float64, stealth
 		fmt.Printf("diagnosis during attack: %v (%d recovery activation(s))\n",
 			res.DiagnosedDuringAttack, res.RecoveryActivations)
 	}
+
+	if rec != nil {
+		if err := trace.WriteFile(o.recordPath, rec.Trace(headerMeta(o))); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d frames to %s\n", res.Ticks, o.recordPath)
+	}
+	if o.reportPath != "" {
+		if err := writeReport(o, res.Telemetry); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// writeReport renders the single-mission run report. The bytes are a
+// pure function of the mission telemetry and the (seed, wind) meta, so a
+// replayed mission's report is byte-identical to the recording run's.
+func writeReport(o options, m *telemetry.Mission) error {
+	col := telemetry.NewCollector()
+	col.Begin("delorean")
+	col.Add(m)
+	rep, err := col.Report(telemetry.Meta{Generator: "delorean", Missions: 1, Seed: o.seed, Wind: o.windMean})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(o.reportPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		_ = f.Close() // the write error is the interesting one
+		return err
+	}
+	return f.Close()
+}
+
+// headerMeta stamps the full mission parameterization into the trace
+// header (an ordered list, never a map) so -replay can reconstruct the
+// run with no other flags.
+func headerMeta(o options) []trace.MetaEntry {
+	return []trace.MetaEntry{
+		{Key: "generator", Value: "delorean"},
+		{Key: "rv", Value: o.rv},
+		{Key: "defense", Value: o.defense},
+		{Key: "path", Value: o.path},
+		{Key: "attack", Value: o.attackList},
+		{Key: "attack-start", Value: formatFloat(o.attackStart)},
+		{Key: "attack-dur", Value: formatFloat(o.attackDur)},
+		{Key: "stealthy", Value: o.stealthy},
+		{Key: "wind", Value: formatFloat(o.windMean)},
+		{Key: "seed", Value: strconv.FormatInt(o.seed, 10)},
+		{Key: "max-sec", Value: formatFloat(o.maxSec)},
+	}
+}
+
+// optionsFromHeader reconstructs the recording run's options from the
+// trace header. The attack fields ride along for provenance display, but
+// the replayed mission never rebuilds the schedule — the injections are
+// baked into the frames.
+func optionsFromHeader(h trace.Header) (options, error) {
+	var o options
+	var err error
+	str := func(key string) string {
+		v, _ := h.MetaValue(key)
+		return v
+	}
+	num := func(key string) float64 {
+		v, ok := h.MetaValue(key)
+		if !ok {
+			return 0
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("trace header %s=%q: %w", key, v, perr)
+		}
+		return f
+	}
+	o.rv = str("rv")
+	o.defense = str("defense")
+	o.path = str("path")
+	o.attackList = str("attack")
+	o.stealthy = str("stealthy")
+	o.attackStart = num("attack-start")
+	o.attackDur = num("attack-dur")
+	o.windMean = num("wind")
+	o.maxSec = num("max-sec")
+	if v, ok := h.MetaValue("seed"); ok {
+		s, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("trace header seed=%q: %w", v, perr)
+		}
+		o.seed = s
+	}
+	if o.rv == "" || o.defense == "" || o.path == "" {
+		return o, fmt.Errorf("trace header is missing the delorean mission parameters (rv/defense/path)")
+	}
+	return o, err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func parseStrategy(s string) (core.Strategy, error) {
 	strategy, ok := core.StrategyByName(s)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"testing"
 
 	"repro/internal/attack"
@@ -76,24 +78,78 @@ func TestParseTargets(t *testing.T) {
 	}
 }
 
+// testOptions mirrors the flag defaults of main for direct run() tests.
+func testOptions() options {
+	return options{
+		rv: "ArduCopter", defense: "DeLorean", path: "S",
+		attackStart: 15, attackDur: 20, windMean: 1, maxSec: 300, seed: 1,
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full mission")
 	}
-	if err := run("ArduCopter", "DeLorean", "GPS", 12, 10, "", "S", 1, 3); err != nil {
+	o := testOptions()
+	o.attackList = "GPS"
+	o.attackStart, o.attackDur = 12, 10
+	o.seed = 3
+	if err := run(o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
+// TestRecordReplayCLI exercises the full -record → -replay → -report
+// loop: the replayed mission's report bytes must reproduce the recorded
+// run's exactly.
+func TestRecordReplayCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full missions")
+	}
+	dir := t.TempDir()
+	rec := testOptions()
+	rec.attackList = "GPS,gyroscope"
+	rec.attackStart, rec.attackDur = 12, 10
+	rec.seed = 7
+	rec.maxSec = 45
+	rec.recordPath = dir + "/m.trace"
+	rec.reportPath = dir + "/live.json"
+	if err := run(rec); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	rep := options{replayPath: dir + "/m.trace", reportPath: dir + "/replay.json"}
+	if err := run(rep); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	live, err := os.ReadFile(dir + "/live.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := os.ReadFile(dir + "/replay.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, replayed) {
+		t.Errorf("replayed report differs from live report:\nlive:   %d bytes\nreplay: %d bytes", len(live), len(replayed))
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("NoSuchRV", "DeLorean", "", 0, 0, "", "S", 0, 1); err == nil {
-		t.Error("expected error for unknown RV")
-	}
-	if err := run("ArduCopter", "wat", "", 0, 0, "", "S", 0, 1); err == nil {
-		t.Error("expected error for unknown defense")
-	}
-	if err := run("ArduCopter", "DeLorean", "", 0, 0, "", "X9", 0, 1); err == nil {
-		t.Error("expected error for unknown path")
+	for _, tt := range []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"unknown RV", func(o *options) { o.rv = "NoSuchRV" }},
+		{"unknown defense", func(o *options) { o.defense = "wat" }},
+		{"unknown path", func(o *options) { o.path = "X9" }},
+		{"record and replay together", func(o *options) { o.recordPath = "a"; o.replayPath = "b" }},
+		{"replay of missing file", func(o *options) { o.replayPath = "/nonexistent/x.trace" }},
+	} {
+		o := testOptions()
+		tt.mutate(&o)
+		if err := run(o); err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
 	}
 }
 

@@ -9,6 +9,15 @@
 // pipeline, and a benchmark harness regenerates every table and figure
 // of the paper's evaluation.
 //
+// The mission harness (internal/sim) reads its measurements through the
+// sensors.Source seam: the simulator suite (sim.SimSource), a recorded
+// on-disk trace (internal/source with internal/trace's versioned
+// format), or externally supplied multi-rate per-sensor streams
+// time-aligned by source.Bus. Because the closed loop is a
+// deterministic function of the measurement stream and the seed, a
+// recorded mission replays bit-identically — CI replays a committed
+// trace and diffs the run report byte for byte.
+//
 // See README.md for a map of the packages, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for
 // paper-vs-measured results.

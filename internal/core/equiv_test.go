@@ -33,7 +33,7 @@ func equivMeas(i int) sensors.PhysState {
 		VX: 0.2 * math.Sin(t/5),
 		VY: 0.1 * math.Cos(t/7),
 	}
-	accel := [3]float64{0.04 * math.Cos(t / 5), -0.014 * math.Sin(t / 7), 0}
+	accel := [3]float64{0.04 * math.Cos(t/5), -0.014 * math.Sin(t/7), 0}
 	meas := sensors.TruePhysState(s, accel, sensors.BodyField(0))
 	switch {
 	case i >= 600 && i < 1100:

@@ -15,6 +15,8 @@ const (
 	corePath      = modulePath + "/internal/core"
 	runnerPath    = modulePath + "/internal/runner"
 	fgPath        = modulePath + "/internal/fg"
+	tracePath     = modulePath + "/internal/trace"
+	sourcePath    = modulePath + "/internal/source"
 )
 
 // DefaultAnalyzers returns the project's full analyzer suite, tuned to
@@ -55,6 +57,11 @@ func DefaultAnalyzers() []*Analyzer {
 				corePath,
 				runnerPath,
 				telemetryPath,
+				// The trace codec and the replay/bus sources are part of
+				// the byte-identity surface: a recorded mission must decode
+				// and replay to the same bytes forever.
+				tracePath,
+				sourcePath,
 			},
 			ClockPath: clockPath,
 		}),
@@ -74,10 +81,10 @@ func DefaultAnalyzers() []*Analyzer {
 }
 
 // defaultSinks are the order-sensitive output package prefixes: anything
-// formatted (fmt) or recorded in the run report (telemetry) must not
-// observe map iteration order.
+// formatted (fmt), recorded in the run report (telemetry), or serialized
+// into an on-disk trace (trace) must not observe map iteration order.
 func defaultSinks() []string {
-	return []string{"fmt", telemetryPath}
+	return []string{"fmt", telemetryPath, tracePath}
 }
 
 // defaultHotalloc declares the roots and cold cut points of the module's

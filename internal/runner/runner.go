@@ -22,8 +22,11 @@ import (
 
 // Job is one pre-drawn mission: a fully specified sim.Config carrying its
 // own derived seed and its own stateful collaborators (diagnoser,
-// detector, attack schedule) so the job shares no mutable state with its
-// neighbors. Label names the job in errors (it should include the seed).
+// detector, attack schedule, sensor source) so the job shares no mutable
+// state with its neighbors. In particular a Config.Source is a
+// single-mission cursor — give every job a fresh one (e.g. one
+// source.Replay per job over a shared decoded trace). Label names the job
+// in errors (it should include the seed).
 type Job struct {
 	Label string
 	Cfg   sim.Config

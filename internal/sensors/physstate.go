@@ -2,6 +2,7 @@ package sensors
 
 import (
 	"math"
+	"strconv"
 
 	"repro/internal/vehicle"
 )
@@ -14,9 +15,27 @@ type PhysState [NumStates]float64
 // At returns the state value at index i.
 func (p PhysState) At(i StateIndex) float64 { return p[i] }
 
-// Set assigns the state value at index i (value receiver copies, so this
-// is a pointer method).
+// Set assigns the state value at index i (a value receiver would mutate
+// a copy, so this is a pointer method).
 func (p *PhysState) Set(i StateIndex, v float64) { p[i] = v }
+
+// String renders the vector as "name=value" pairs in canonical PS order,
+// for debugging and trace dumps. It formats with strconv rather than fmt
+// so nothing here can drag fmt's boxing into the hotalloc set.
+func (p PhysState) String() string {
+	buf := make([]byte, 0, 16*int(NumStates))
+	buf = append(buf, '[')
+	for i := range p {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, stateNames[i]...)
+		buf = append(buf, '=')
+		buf = strconv.AppendFloat(buf, p[i], 'g', 6, 64)
+	}
+	buf = append(buf, ']')
+	return string(buf)
+}
 
 // Sub returns the element-wise difference p − q.
 func (p PhysState) Sub(q PhysState) PhysState {

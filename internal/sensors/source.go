@@ -1,0 +1,138 @@
+package sensors
+
+import (
+	"repro/internal/floats"
+	"repro/internal/vehicle"
+)
+
+// TypeMask is an allocation-free set of sensor types: one bit per Type.
+// It is the trace-format and hot-path counterpart of TypeSet (which is a
+// map and therefore allocates). The zero mask is empty.
+type TypeMask uint8
+
+// MaskOf builds a mask from the listed types.
+func MaskOf(types ...Type) TypeMask {
+	var m TypeMask
+	for _, t := range types {
+		m = m.With(t)
+	}
+	return m
+}
+
+// With returns the mask with t added.
+func (m TypeMask) With(t Type) TypeMask {
+	if t < GPS || t > Baro {
+		return m
+	}
+	return m | 1<<(uint(t)-1)
+}
+
+// Has reports membership.
+func (m TypeMask) Has(t Type) bool {
+	if t < GPS || t > Baro {
+		return false
+	}
+	return m&(1<<(uint(t)-1)) != 0
+}
+
+// IsEmpty reports whether no type is set.
+func (m TypeMask) IsEmpty() bool { return m == 0 }
+
+// Set expands the mask into a TypeSet (allocates; not for the hot path).
+func (m TypeMask) Set() TypeSet {
+	s := make(TypeSet, NumTypes)
+	for _, t := range AllTypes() {
+		if m.Has(t) {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// Mask compresses the set into a TypeMask.
+func (s TypeSet) Mask() TypeMask {
+	var m TypeMask
+	for _, t := range AllTypes() {
+		if s.Has(t) {
+			m = m.With(t)
+		}
+	}
+	return m
+}
+
+// String renders the mask like TypeSet.String, e.g. "{GPS, gyroscope}".
+func (m TypeMask) String() string { return m.Set().String() }
+
+// TargetMask returns the sensor types carrying a non-zero injection as a
+// mask. It is the allocation-free counterpart of Targets, used on the
+// per-tick recording path.
+func (b Bias) TargetMask() TypeMask {
+	var m TypeMask
+	if b.GPSPos != [3]float64{} || b.GPSVel != [3]float64{} {
+		m = m.With(GPS)
+	}
+	if b.Gyro != [3]float64{} {
+		m = m.With(Gyro)
+	}
+	if b.Accel != [3]float64{} {
+		m = m.With(Accel)
+	}
+	if !floats.Zero(b.MagYaw) {
+		m = m.With(Mag)
+	}
+	if !floats.Zero(b.Baro) {
+		m = m.With(Baro)
+	}
+	return m
+}
+
+// Tick is the per-tick context the mission loop offers a Source. Sources
+// that synthesize measurements from simulated physics (the simulator
+// suite) consume the ground-truth fields; sources that replay recorded or
+// external streams use only the timestamps. T advances on the fixed
+// control-period grid (t += DT from 0), so a replayed mission observes
+// bit-identical timestamps to the recording run.
+type Tick struct {
+	// T is the mission time of this control period; DT its length.
+	T, DT float64
+	// Truth is the simulator's ground-truth vehicle state.
+	Truth vehicle.State
+	// TruthAccel is the true translational acceleration (what a perfect
+	// accelerometer would measure).
+	TruthAccel [3]float64
+}
+
+// Reading is one time-aligned sensor frame: the held multi-rate PS
+// estimate plus the attack annotations the mission loop and the trace
+// format carry alongside it.
+type Reading struct {
+	// State is the sensor-derived PS estimate: each sensor type refreshes
+	// at its own rate and holds its last value between refreshes, so the
+	// frame is always aligned to the control-period grid.
+	State PhysState
+	// AttackActive reports whether an injection is physically reaching the
+	// sensors this tick (TP/FP and detection-latency accounting).
+	AttackActive bool
+	// AttackTargets annotates which sensor types carry an injection this
+	// tick (may be empty while AttackActive if the injection is in an
+	// off-phase of an intermittent attack).
+	AttackTargets TypeMask
+}
+
+// Source is the sensor-ingestion seam: the mission loop pulls one Reading
+// per control period instead of synthesizing measurements inline. A
+// Source is stateful (rate counters, replay cursors, noise rngs) and is
+// owned by exactly one mission — parallel campaigns construct one Source
+// per job. Implementations: the simulator synthesizer (internal/sim's
+// SimSource), recorded-trace replay and record tees (internal/source),
+// and the time-aligned multi-stream bus a live feed plugs into
+// (internal/source's Bus).
+type Source interface {
+	// Sample advances the source to tick.T and returns the frame. An
+	// error (replay exhaustion, trace desync) abandons the mission.
+	Sample(tick Tick) (Reading, error)
+	// AttackMounted reports whether the mission carries a sensor-deception
+	// attack at all — recorded in the trace header and used for the
+	// run report's attacked/benign outcome classification.
+	AttackMounted() bool
+}

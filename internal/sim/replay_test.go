@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/source"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/vehicle"
+)
+
+// reportBytes renders one mission's telemetry the way run reports do, so
+// replay equivalence is judged on the same bytes CI diffs.
+func reportBytes(t *testing.T, res Result, seed int64) []byte {
+	t.Helper()
+	col := telemetry.NewCollector()
+	col.Begin("replay-prop")
+	col.Add(res.Telemetry)
+	rep, err := col.Report(telemetry.Meta{Generator: "replay-prop", Missions: 1, Seed: seed, Wind: 1})
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func gpsWindowSchedule(seed int64) *attack.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sda := attack.New(rng, attack.DefaultParams(), sensors.NewTypeSet(sensors.GPS), 15, 35)
+	return attack.NewSchedule(sda)
+}
+
+// TestReplayReproducesLiveMission is the seam's core property: for every
+// defense strategy and both vehicle kinds, a mission recorded through a
+// Recorder-wrapped SimSource and then replayed from the serialized trace
+// produces a byte-identical telemetry report. The trace round-trips
+// through its on-disk encoding, so the property covers the format too.
+func TestReplayReproducesLiveMission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full missions")
+	}
+	const seed = 11
+	for _, pn := range []vehicle.ProfileName{vehicle.ArduCopter, vehicle.ArduRover} {
+		for _, strat := range []core.Strategy{core.StrategyDeLorean, core.StrategySSR, core.StrategyPIDPiper} {
+			t.Run(string(pn)+"/"+strat.String(), func(t *testing.T) {
+				profile := vehicle.MustProfile(pn)
+				cfg := Config{
+					Profile:   profile,
+					Plan:      mission.NewStraight(50, profile.CruiseAltitude),
+					Strategy:  strat,
+					WindowSec: 8,
+					WindMean:  1,
+					Seed:      seed,
+					MaxSec:    120,
+				}
+
+				rec := source.NewRecorder(NewSimSource(SourceConfig{
+					Profile: profile, Seed: cfg.Seed, Attacks: gpsWindowSchedule(99),
+				}))
+				live := cfg
+				live.Source = rec
+				resLive, err := Run(live)
+				if err != nil {
+					t.Fatalf("live run: %v", err)
+				}
+
+				var enc bytes.Buffer
+				if err := rec.Trace(nil).Encode(&enc); err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				tr, err := trace.Decode(bytes.NewReader(enc.Bytes()))
+				if err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				replay := cfg
+				replay.Source = source.NewReplay(tr)
+				resReplay, err := Run(replay)
+				if err != nil {
+					t.Fatalf("replay run: %v", err)
+				}
+
+				a, b := reportBytes(t, resLive, seed), reportBytes(t, resReplay, seed)
+				if !bytes.Equal(a, b) {
+					t.Errorf("replayed report differs from live report (%d vs %d bytes)", len(a), len(b))
+				}
+				if resLive.Success != resReplay.Success || resLive.Ticks != resReplay.Ticks {
+					t.Errorf("outcome drift: live {success:%v ticks:%d} replay {success:%v ticks:%d}",
+						resLive.Success, resLive.Ticks, resReplay.Success, resReplay.Ticks)
+				}
+			})
+		}
+	}
+}
+
+// TestExternalSimSourceMatchesDefault pins the refactor's bit-exactness:
+// passing an explicitly constructed SimSource through Config.Source is
+// indistinguishable from the nil-Source path that builds one internally.
+func TestExternalSimSourceMatchesDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full missions")
+	}
+	cfg := baseCfg(core.StrategyDeLorean, 7)
+	cfg.Attacks = gpsWindowSchedule(99)
+	resDefault, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("nil-Source run: %v", err)
+	}
+
+	ext := baseCfg(core.StrategyDeLorean, 7)
+	ext.Source = NewSimSource(SourceConfig{
+		Profile: ext.Profile, Seed: ext.Seed, Attacks: gpsWindowSchedule(99),
+	})
+	resExt, err := Run(ext)
+	if err != nil {
+		t.Fatalf("external-Source run: %v", err)
+	}
+	a, b := reportBytes(t, resDefault, 7), reportBytes(t, resExt, 7)
+	if !bytes.Equal(a, b) {
+		t.Error("external SimSource diverged from the internal nil-Source path")
+	}
+}
+
+// TestReplayTruncatedTraceAborts: a trace shorter than the mission fails
+// the run with source.ErrExhausted instead of silently freezing sensors.
+func TestReplayTruncatedTraceAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mission")
+	}
+	cfg := baseCfg(core.StrategyDeLorean, 5)
+	rec := source.NewRecorder(NewSimSource(SourceConfig{Profile: cfg.Profile, Seed: cfg.Seed}))
+	live := cfg
+	live.Source = rec
+	if _, err := Run(live); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	tr := rec.Trace(nil)
+	if len(tr.Frames) < 200 {
+		t.Fatalf("recorded only %d frames", len(tr.Frames))
+	}
+	tr.Frames = tr.Frames[:200] // 2 s of a mission that needs far more
+
+	short := cfg
+	short.Source = source.NewReplay(tr)
+	_, err := Run(short)
+	if !errors.Is(err, source.ErrExhausted) {
+		t.Errorf("got %v, want wrapped source.ErrExhausted", err)
+	}
+}

@@ -27,6 +27,15 @@ type Config struct {
 	Plan     mission.Plan
 	Strategy core.Strategy
 
+	// Source supplies the per-tick sensor readings. Nil selects the
+	// simulator synthesizer (a SimSource built from Profile, Seed,
+	// Attacks, and the dropout settings — the classic closed-loop
+	// mission). A non-nil Source owns attack and failure injection
+	// itself, so Attacks/DropoutAt/DropoutSensors must stay unset (see
+	// Validate). A Source is stateful and must not be shared between
+	// missions.
+	Source sensors.Source
+
 	// Delta are the diagnosis thresholds; zero value uses
 	// core.DefaultDelta for the profile.
 	Delta diagnosis.Delta
@@ -154,6 +163,9 @@ func Run(cfg Config) (Result, error) {
 // and abandons the mission with ctx.Err() once the context is done. The
 // parallel runner (internal/runner) uses this to stop a sweep mid-flight.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	if cfg.DT <= 0 {
 		cfg.DT = 0.01
 	}
@@ -180,9 +192,18 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 
+	// The master rng's draw order is part of the byte-identity contract:
+	// first the suite's noise seed, then the wind seed. The suite seed is
+	// drawn even when an external Source replaces the simulator suite, so
+	// the wind — which stays simulator-side — sees the same seed either
+	// way and a recorded mission replays bit-exactly.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	suite := sensors.NewSuite(cfg.Profile, rand.New(rand.NewSource(rng.Int63())))
+	suiteSeed := rng.Int63()
 	gusts := wind.New(cfg.WindMean, cfg.WindDir, cfg.WindGust, rand.New(rand.NewSource(rng.Int63())))
+	src := cfg.Source
+	if src == nil {
+		src = newSimSource(cfg.Profile, suiteSeed, cfg.Attacks, cfg.DropoutAt, cfg.DropoutSensors)
+	}
 	tracker := mission.NewTracker(cfg.Plan, 2.0)
 
 	var truth vehicle.State
@@ -195,7 +216,6 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	tick := 0
 
 	done := ctx.Done()
-	dropoutArmed := cfg.DropoutAt > 0 && cfg.DropoutSensors.Len() > 0
 	attackOnsetTick := -1
 	latencyRecorded := false
 	for t := 0.0; t < cfg.MaxSec; t += dt {
@@ -210,23 +230,17 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			res.Completed = true
 			break
 		}
-		if dropoutArmed && t >= cfg.DropoutAt {
-			suite.SetDropout(cfg.DropoutSensors)
-			dropoutArmed = false
-		}
 		w := gusts.Step(dt)
-		var bias sensors.Bias
-		attackActive := false
-		if cfg.Attacks != nil {
-			// The injection reaches the sensors only while the vehicle is
-			// physically inside the emitters' range (Table 2).
-			bias = cfg.Attacks.BiasAtPos(t, truth.X, truth.Y)
-			attackActive = cfg.Attacks.InRangeAt(t, truth.X, truth.Y)
-		}
 
-		// True acceleration for the accelerometer model.
+		// True acceleration for the accelerometer model (synthesizing
+		// sources consume it; replay sources ignore it).
 		accel := trueAccel(cfg.Profile, truth, lastU, w)
-		meas := suite.Sample(t, dt, truth, accel, bias)
+		reading, err := src.Sample(sensors.Tick{T: t, DT: dt, Truth: truth, TruthAccel: accel})
+		if err != nil {
+			return res, fmt.Errorf("sim: sensor source at t=%.2fs: %w", t, err)
+		}
+		meas := reading.State
+		attackActive := reading.AttackActive
 
 		u := fw.Tick(t, meas, tracker.Target())
 		lastU = u
@@ -313,7 +327,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		Success:               res.Success,
 		Crashed:               res.Crashed,
 		Stalled:               res.Stalled,
-		AttackMounted:         cfg.Attacks != nil,
+		AttackMounted:         src.AttackMounted(),
 		DiagnosedDuringAttack: res.DiagnosisRanDuringAttack && res.DiagnosedDuringAttack.Len() > 0,
 	})
 	res.Telemetry = tel.Mission()

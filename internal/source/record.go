@@ -1,0 +1,61 @@
+package source
+
+import (
+	"repro/internal/sensors"
+	"repro/internal/trace"
+)
+
+// Recorder tees any inner source onto the on-disk trace format: every
+// frame the mission consumes is appended verbatim (bit-preserved floats,
+// attack annotations included), so replaying the captured trace through a
+// Replay reproduces the mission byte-identically. Wrap the simulator
+// source to capture a regression corpus, or a live bus to capture
+// hardware-in-the-loop runs.
+type Recorder struct {
+	inner  sensors.Source
+	dt     float64
+	frames []trace.Frame
+}
+
+// NewRecorder returns a recording tee around inner.
+func NewRecorder(inner sensors.Source) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Sample forwards to the inner source and appends the returned frame.
+func (r *Recorder) Sample(tick sensors.Tick) (sensors.Reading, error) {
+	rd, err := r.inner.Sample(tick)
+	if err != nil {
+		return rd, err
+	}
+	if len(r.frames) == 0 {
+		r.dt = tick.DT
+	}
+	var flags uint8
+	if rd.AttackActive {
+		flags |= trace.FlagAttackActive
+	}
+	r.frames = append(r.frames, trace.Frame{
+		T:       tick.T,
+		State:   rd.State,
+		Flags:   flags,
+		Targets: rd.AttackTargets,
+	})
+	return rd, nil
+}
+
+// AttackMounted delegates to the inner source.
+func (r *Recorder) AttackMounted() bool { return r.inner.AttackMounted() }
+
+// Trace assembles the captured trace with the given ordered provenance
+// annotations. Call it after the mission completes.
+func (r *Recorder) Trace(meta []trace.MetaEntry) *trace.Trace {
+	return &trace.Trace{
+		Header: trace.Header{
+			DT:            r.dt,
+			AttackMounted: r.inner.AttackMounted(),
+			Meta:          meta,
+		},
+		Frames: r.frames,
+	}
+}

@@ -1,0 +1,69 @@
+// Package source holds the sensor-source implementations that are not
+// the simulator: recorded-trace replay, the record tee that captures any
+// inner source to the on-disk trace format, and the time-aligned
+// multi-stream bus an external feed plugs into. The simulator synthesizer
+// itself lives in internal/sim (it owns the physics-facing half of the
+// seam); everything here drives the same sensors.Source interface, so a
+// mission cannot tell where its readings come from.
+package source
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sensors"
+	"repro/internal/trace"
+)
+
+// Replay error classes, wrapped with positional detail; test with
+// errors.Is.
+var (
+	// ErrExhausted: the mission ran past the end of the recorded trace.
+	ErrExhausted = errors.New("source: trace exhausted")
+	// ErrDesync: the mission's tick grid diverged from the recorded
+	// timestamps (wrong DT, wrong start, or a foreign trace).
+	ErrDesync = errors.New("source: trace desync")
+)
+
+// Replay drives a mission from a recorded trace: each Sample returns the
+// next recorded frame, after checking bit-exact timestamp agreement with
+// the mission's tick grid. A Replay is a single-mission cursor — parallel
+// replay campaigns construct one Replay per job over the same decoded
+// *trace.Trace (the trace itself is read-only).
+type Replay struct {
+	tr   *trace.Trace
+	next int
+}
+
+// NewReplay returns a replay source over the decoded trace.
+func NewReplay(tr *trace.Trace) *Replay {
+	return &Replay{tr: tr}
+}
+
+// Sample returns the recorded frame for tick.T. The recorded timestamp
+// must match bit-for-bit: both the recording and the replaying mission
+// build their grid by the same t += DT accumulation from zero, so any
+// difference means the trace does not belong to this mission shape.
+func (r *Replay) Sample(tick sensors.Tick) (sensors.Reading, error) {
+	if r.next >= len(r.tr.Frames) {
+		return sensors.Reading{}, fmt.Errorf("%w after %d frames (t=%v)", ErrExhausted, r.next, tick.T)
+	}
+	f := &r.tr.Frames[r.next]
+	if math.Float64bits(f.T) != math.Float64bits(tick.T) {
+		return sensors.Reading{}, fmt.Errorf("%w: frame %d recorded t=%v, mission at t=%v",
+			ErrDesync, r.next, f.T, tick.T)
+	}
+	r.next++
+	return sensors.Reading{
+		State:         f.State,
+		AttackActive:  f.AttackActive(),
+		AttackTargets: f.Targets,
+	}, nil
+}
+
+// AttackMounted reports the trace header's attack annotation.
+func (r *Replay) AttackMounted() bool { return r.tr.Header.AttackMounted }
+
+// Remaining returns the number of unconsumed frames.
+func (r *Replay) Remaining() int { return len(r.tr.Frames) - r.next }

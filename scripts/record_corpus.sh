@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# record_corpus.sh — regenerate the committed replay corpus: one recorded
+# attack mission (internal/sim/testdata/attack_mission.trace) plus the
+# golden run report its replay must reproduce byte for byte.
+#
+# The replay gate (scripts/replay_gate.sh, CI job replay-gate) replays
+# the committed trace and diffs the report against the golden, so this
+# corpus pins the trace format AND the closed-loop mission semantics.
+# Regenerating it is a deliberate act (rerun this script and commit the
+# diff), never a side effect. The mission parameters mirror
+# TestRecordReplayCLI in cmd/delorean.
+set -eu
+cd "$(dirname "$0")/.." || exit 1
+
+OUT_DIR=internal/sim/testdata
+TRACE=$OUT_DIR/attack_mission.trace
+GOLD=$OUT_DIR/attack_mission.report.golden.json
+
+mkdir -p "$OUT_DIR"
+go run ./cmd/delorean \
+    -rv ArduCopter -defense DeLorean -path S \
+    -attack GPS,gyroscope -attack-start 12 -attack-dur 10 \
+    -wind 1 -seed 7 -max-sec 45 \
+    -record "$TRACE" -report "$GOLD"
+
+echo "recorded corpus:"
+ls -l "$TRACE" "$GOLD"

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# replay_gate.sh — the replay-determinism gate: replaying the committed
+# recorded mission (internal/sim/testdata/attack_mission.trace) must
+# reproduce the committed golden run report byte for byte.
+#
+# This pins two contracts at once: the v1 trace format keeps decoding
+# (a recorded mission stays replayable in CI forever), and the closed
+# loop around the sensor seam — control, physics, wind, detection,
+# diagnosis, recovery — stays bit-deterministic for a fixed sensor
+# stream. Regenerate the corpus only deliberately, via
+# scripts/record_corpus.sh (make record-corpus), and commit the diff.
+set -eu
+cd "$(dirname "$0")/.." || exit 1
+
+TRACE=internal/sim/testdata/attack_mission.trace
+GOLD=internal/sim/testdata/attack_mission.report.golden.json
+
+tmp="$(mktemp -d /tmp/replay_gate.XXXXXX)"
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/delorean -replay "$TRACE" -report "$tmp/report.json"
+
+if ! cmp -s "$GOLD" "$tmp/report.json"; then
+    echo "FAIL: replayed report drifted from $GOLD" >&2
+    diff -u "$GOLD" "$tmp/report.json" | head -40 >&2 || true
+    echo "replay gate FAILED" >&2
+    exit 1
+fi
+echo "ok: replayed mission report byte-identical to the committed golden"
