@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate replay-gate record-corpus
+.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate replay-gate record-corpus serve service-smoke loadtest
 
 all: check
 
@@ -36,7 +36,21 @@ equiv-gate:
 # (internal/sim/testdata/attack_mission.trace) must replay to the
 # committed golden report byte for byte.
 replay-gate:
-	sh scripts/replay_gate.sh
+	bash scripts/replay_gate.sh
+
+# Run the mission service locally (see README "Mission service").
+serve:
+	$(GO) run ./cmd/delorean-server
+
+# Service smoke gate: boot delorean-server, replay the committed corpus
+# mission over HTTP, and diff the streamed report against the golden.
+service-smoke:
+	bash scripts/service_smoke.sh
+
+# Concurrent-load byte-identity gate: N identical submissions must yield
+# byte-identical NDJSON responses, then the server must drain cleanly.
+loadtest:
+	bash scripts/loadtest.sh
 
 # Regenerate the committed replay corpus (trace + golden report). A
 # deliberate act: rerun and commit the diff when the mission semantics

@@ -1,0 +1,107 @@
+// Command delorean-server runs DeLorean as a long-lived mission service:
+// an HTTP JSON API that accepts mission and experiment requests, runs
+// them on a sharded pool, and streams per-mission results plus the final
+// versioned run report back as NDJSON. Determinism survives the service
+// boundary — the same request body yields byte-identical response bytes
+// at any pool size.
+//
+// Endpoints:
+//
+//	POST /v1/missions     one mission (inline spec, or trace_b64 replay)
+//	POST /v1/experiments  a pre-drawn seed sweep of one spec
+//	GET  /healthz         ok / draining
+//	GET  /statusz         pool depth, quota, and run counters (JSON)
+//
+// Overload is shed, never queued unboundedly: submissions that do not
+// fit the bounded queue get 429 with Retry-After, tenants over their
+// token-bucket quota get 429, and a draining server (SIGTERM received)
+// rejects new submissions with 503 while in-flight missions finish.
+//
+// Usage:
+//
+//	delorean-server -addr 127.0.0.1:8080 -shards 8 -queue 256 \
+//	                -quota-rate 10 -quota-burst 50
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port; the bound address is printed)")
+		shards     = flag.Int("shards", 0, "mission pool shards (0 = NumCPU)")
+		queue      = flag.Int("queue", 256, "bounded mission queue depth (backpressure beyond it)")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant quota in missions/sec (0 = unlimited)")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant quota burst in missions (0 = default 16)")
+		maxMiss    = flag.Int("max-missions", 256, "largest experiment sweep one request may ask for")
+		drainSec   = flag.Float64("drain-sec", 60, "graceful-drain budget on SIGTERM/SIGINT (seconds)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, service.Config{
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		QuotaRate:   *quotaRate,
+		QuotaBurst:  *quotaBurst,
+		MaxMissions: *maxMiss,
+	}, time.Duration(*drainSec*float64(time.Second))); err != nil {
+		fmt.Fprintln(os.Stderr, "delorean-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, drainBudget time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := service.New(cfg)
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Result streams are long-lived; only bound the header read.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// The machine-readable address line: scripts boot on :0 and parse
+	// the actual port from here.
+	fmt.Printf("delorean-server listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	// Graceful drain: reject new submissions (healthz flips 503 so load
+	// balancers stop routing here), let every accepted mission finish
+	// and its response stream complete, then close the listener.
+	fmt.Println("delorean-server: draining (in-flight missions finish; new submissions get 503)")
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "delorean-server: drain budget exceeded; abandoning in-flight work:", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	fmt.Println("delorean-server: drained, bye")
+	return nil
+}

@@ -1,7 +1,10 @@
 // Command delorean flies one simulated mission with a chosen vehicle,
 // defense strategy, and SDA, printing the mission trace and verdict. It
 // is the interactive entry point for exploring the framework, and the
-// record/replay tool for the sensor-trace regression corpus.
+// record/replay tool for the sensor-trace regression corpus. The mission
+// itself is built through internal/service's MissionSpec — the exact
+// wiring the mission server uses — so a mission run here and the same
+// mission submitted over HTTP produce byte-identical reports.
 //
 // Usage:
 //
@@ -15,53 +18,45 @@
 //
 //	delorean -attack GPS -record mission.trace -report live.json
 //	delorean -replay mission.trace -report replayed.json
+//
+// Exit codes are consistent: 2 for usage errors (bad flags, unknown
+// names, conflicting modes), 1 for runtime failures (I/O, mission
+// errors).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/mission"
-	"repro/internal/sensors"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/source"
-	"repro/internal/telemetry"
 	"repro/internal/trace"
-	"repro/internal/vehicle"
 )
 
-// options carries the parsed command line. In replay mode every mission
-// parameter is restored from the trace header instead.
+// options carries the parsed command line: the mission spec plus the
+// record/replay/report paths. In replay mode every mission parameter is
+// restored from the trace header instead.
 type options struct {
-	rv, defense, path      string
-	attackList, stealthy   string
-	attackStart            float64
-	attackDur              float64
-	windMean               float64
-	maxSec                 float64
-	seed                   int64
+	spec                   service.MissionSpec
 	recordPath, replayPath string
 	reportPath             string
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.rv, "rv", "ArduCopter", "vehicle profile (Pixhawk, Tarot, Sky-Viper, AionR1, ArduCopter, ArduRover)")
-	flag.StringVar(&o.defense, "defense", "DeLorean", "defense: None, DeLorean, LQR-O, SSR, PID-Piper")
-	flag.StringVar(&o.attackList, "attack", "", "comma-separated sensors to attack (GPS, gyroscope, accelerometer, magnetometer, barometer); empty = no attack")
-	flag.Float64Var(&o.attackStart, "attack-start", 15, "attack start time (s)")
-	flag.Float64Var(&o.attackDur, "attack-dur", 20, "attack duration (s)")
-	flag.StringVar(&o.stealthy, "stealthy", "", "stealthy mode: random, gradual, intermittent (empty = persistent full-bias SDA)")
-	flag.StringVar(&o.path, "path", "S", "mission path kind: S, MW, C, P1, P2, P3")
-	flag.Float64Var(&o.windMean, "wind", 1, "mean wind (m/s)")
-	flag.Int64Var(&o.seed, "seed", 1, "random seed")
-	flag.Float64Var(&o.maxSec, "max-sec", 300, "mission time budget (simulated seconds)")
+	flag.StringVar(&o.spec.RV, "rv", "ArduCopter", "vehicle profile (Pixhawk, Tarot, Sky-Viper, AionR1, ArduCopter, ArduRover)")
+	flag.StringVar(&o.spec.Defense, "defense", "DeLorean", "defense: None, DeLorean, LQR-O, SSR, PID-Piper")
+	flag.StringVar(&o.spec.Attack, "attack", "", "comma-separated sensors to attack (GPS, gyroscope, accelerometer, magnetometer, barometer); empty = no attack")
+	flag.Float64Var(&o.spec.AttackStart, "attack-start", 15, "attack start time (s)")
+	flag.Float64Var(&o.spec.AttackDur, "attack-dur", 20, "attack duration (s)")
+	flag.StringVar(&o.spec.Stealthy, "stealthy", "", "stealthy mode: random, gradual, intermittent (empty = persistent full-bias SDA)")
+	flag.StringVar(&o.spec.Path, "path", "S", "mission path kind: S, MW, C, P1, P2, P3")
+	flag.Float64Var(&o.spec.Wind, "wind", 1, "mean wind (m/s)")
+	flag.Int64Var(&o.spec.Seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.spec.MaxSec, "max-sec", 300, "mission time budget (simulated seconds)")
 	flag.StringVar(&o.recordPath, "record", "", "record the sensor stream to this trace file")
 	flag.StringVar(&o.replayPath, "replay", "", "replay a recorded trace (mission parameters come from its header; other flags are ignored)")
 	flag.StringVar(&o.reportPath, "report", "", "write the versioned telemetry run report (JSON) to this file")
@@ -69,81 +64,63 @@ func main() {
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "delorean:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageErr marks a command-line usage mistake — as opposed to a runtime
+// failure — so main can exit with the conventional usage code. Every
+// flag-validation path routes through usagef; spec errors from
+// internal/service and config errors from internal/sim are classified as
+// usage by exitCode.
+type usageErr struct{ err error }
+
+func (e usageErr) Error() string { return e.err.Error() }
+func (e usageErr) Unwrap() error { return e.err }
+
+// usagef builds a usage error (exit code 2).
+func usagef(format string, args ...any) error {
+	return usageErr{err: fmt.Errorf(format, args...)}
+}
+
+// exitCode maps an error to the process exit code: 2 for usage mistakes
+// (explicit usagef, invalid spec fields, invalid mission configs), 1 for
+// everything else.
+func exitCode(err error) int {
+	var ue usageErr
+	var se *service.SpecError
+	var ce *sim.ConfigError
+	if errors.As(err, &ue) || errors.As(err, &se) || errors.As(err, &ce) {
+		return 2
+	}
+	return 1
 }
 
 func run(o options) error {
 	if o.replayPath != "" && o.recordPath != "" {
-		return fmt.Errorf("-record and -replay are mutually exclusive")
+		return usagef("-record and -replay are mutually exclusive")
 	}
 	var tr *trace.Trace
+	spec := o.spec
 	if o.replayPath != "" {
 		var err error
 		tr, err = trace.ReadFile(o.replayPath)
 		if err != nil {
 			return err
 		}
-		ho, err := optionsFromHeader(tr.Header)
+		// The header replaces every mission parameter; only the output
+		// paths stay with the command line.
+		spec, err = service.SpecFromHeader(tr.Header)
 		if err != nil {
 			return fmt.Errorf("%s: %w", o.replayPath, err)
 		}
-		// The header replaces every mission parameter; only the output
-		// paths stay with the command line.
-		ho.replayPath, ho.reportPath = o.replayPath, o.reportPath
-		o = ho
 	}
 
-	profile, err := vehicle.LookupProfile(vehicle.ProfileName(o.rv))
+	m, err := spec.Build()
 	if err != nil {
 		return err
 	}
-	strategy, err := parseStrategy(o.defense)
-	if err != nil {
-		return err
-	}
-	kind, err := parsePath(o.path)
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(o.seed))
-	plan := mission.NewOfKind(kind, profile.CruiseAltitude, rng)
-
-	cfg := sim.Config{
-		Profile:    profile,
-		Plan:       plan,
-		Strategy:   strategy,
-		WindowSec:  15,
-		WindMean:   o.windMean,
-		WindGust:   0.5,
-		Seed:       rng.Int63(),
-		MaxSec:     o.maxSec,
-		TraceEvery: 100,
-	}
-	var sched *attack.Schedule
-	if o.attackList != "" {
-		targets, err := parseTargets(o.attackList)
-		if err != nil {
-			return err
-		}
-		var sda *attack.SDA
-		if o.stealthy == "" {
-			sda = attack.New(rng, attack.DefaultParams(), targets, o.attackStart, o.attackStart+o.attackDur)
-		} else {
-			mode, err := parseStealthyMode(o.stealthy)
-			if err != nil {
-				return err
-			}
-			// Stealthy attacks inject sub-threshold bias: a tenth of the
-			// Table 2 magnitudes.
-			base := attack.New(rng, attack.DefaultParams(), targets, o.attackStart, o.attackStart+o.attackDur)
-			sda = attack.NewWithBias(rng, base.Base().Scale(0.1), o.attackStart, o.attackStart+o.attackDur, mode)
-		}
-		sched = attack.NewSchedule(sda)
-		if tr == nil {
-			fmt.Printf("SDA (%s) on %v from t=%.0fs to t=%.0fs\n", sda.Mode, targets, o.attackStart, o.attackStart+o.attackDur)
-		}
-	}
+	spec = m.Spec // defaults applied
 
 	// Wire the sensor source. Replay mode substitutes the recorded
 	// stream (its injections are baked into the frames, so the live
@@ -152,26 +129,23 @@ func run(o options) error {
 	var rec *source.Recorder
 	switch {
 	case tr != nil:
-		cfg.Source = source.NewReplay(tr)
+		m.UseReplay(tr)
 		fmt.Printf("replaying %d recorded frames from %s\n", len(tr.Frames), o.replayPath)
 	case o.recordPath != "":
-		rec = source.NewRecorder(sim.NewSimSource(sim.SourceConfig{
-			Profile: profile,
-			Seed:    cfg.Seed,
-			Attacks: sched,
-		}))
-		cfg.Source = rec
-	default:
-		cfg.Attacks = sched
+		rec = m.Record()
+	}
+	if m.SDA != nil && tr == nil {
+		fmt.Printf("SDA (%s) on %s from t=%.0fs to t=%.0fs\n",
+			m.SDA.Mode, spec.Attack, spec.AttackStart, spec.AttackStart+spec.AttackDur)
 	}
 
-	res, err := sim.Run(cfg)
+	res, err := sim.Run(m.Cfg)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("%s mission (%s) on %s, defense %s, wind %.1f m/s\n\n",
-		kind, plan.Kind, profile.Name, strategy, o.windMean)
+		m.Kind, m.Cfg.Plan.Kind, m.Cfg.Profile.Name, m.Cfg.Strategy, spec.Wind)
 	fmt.Println("   t       true position         believed position    state")
 	for _, tp := range res.Trace {
 		state := "cruise"
@@ -205,31 +179,28 @@ func run(o options) error {
 	}
 
 	if rec != nil {
-		if err := trace.WriteFile(o.recordPath, rec.Trace(headerMeta(o))); err != nil {
+		if err := trace.WriteFile(o.recordPath, rec.Trace(spec.HeaderMeta())); err != nil {
 			return err
 		}
 		fmt.Printf("recorded %d frames to %s\n", res.Ticks, o.recordPath)
 	}
 	if o.reportPath != "" {
-		if err := writeReport(o, res.Telemetry); err != nil {
+		if err := writeReport(o.reportPath, spec, res); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeReport renders the single-mission run report. The bytes are a
-// pure function of the mission telemetry and the (seed, wind) meta, so a
-// replayed mission's report is byte-identical to the recording run's.
-func writeReport(o options, m *telemetry.Mission) error {
-	col := telemetry.NewCollector()
-	col.Begin("delorean")
-	col.Add(m)
-	rep, err := col.Report(telemetry.Meta{Generator: "delorean", Missions: 1, Seed: o.seed, Wind: o.windMean})
+// writeReport renders the single-mission run report through the same
+// service helper the mission server streams from, so the -report bytes
+// of a recorded mission, its replay, and its HTTP submission all match.
+func writeReport(path string, spec service.MissionSpec, res sim.Result) error {
+	rep, err := service.MissionReport(spec, res.Telemetry)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(o.reportPath)
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -238,130 +209,4 @@ func writeReport(o options, m *telemetry.Mission) error {
 		return err
 	}
 	return f.Close()
-}
-
-// headerMeta stamps the full mission parameterization into the trace
-// header (an ordered list, never a map) so -replay can reconstruct the
-// run with no other flags.
-func headerMeta(o options) []trace.MetaEntry {
-	return []trace.MetaEntry{
-		{Key: "generator", Value: "delorean"},
-		{Key: "rv", Value: o.rv},
-		{Key: "defense", Value: o.defense},
-		{Key: "path", Value: o.path},
-		{Key: "attack", Value: o.attackList},
-		{Key: "attack-start", Value: formatFloat(o.attackStart)},
-		{Key: "attack-dur", Value: formatFloat(o.attackDur)},
-		{Key: "stealthy", Value: o.stealthy},
-		{Key: "wind", Value: formatFloat(o.windMean)},
-		{Key: "seed", Value: strconv.FormatInt(o.seed, 10)},
-		{Key: "max-sec", Value: formatFloat(o.maxSec)},
-	}
-}
-
-// optionsFromHeader reconstructs the recording run's options from the
-// trace header. The attack fields ride along for provenance display, but
-// the replayed mission never rebuilds the schedule — the injections are
-// baked into the frames.
-func optionsFromHeader(h trace.Header) (options, error) {
-	var o options
-	var err error
-	str := func(key string) string {
-		v, _ := h.MetaValue(key)
-		return v
-	}
-	num := func(key string) float64 {
-		v, ok := h.MetaValue(key)
-		if !ok {
-			return 0
-		}
-		f, perr := strconv.ParseFloat(v, 64)
-		if perr != nil && err == nil {
-			err = fmt.Errorf("trace header %s=%q: %w", key, v, perr)
-		}
-		return f
-	}
-	o.rv = str("rv")
-	o.defense = str("defense")
-	o.path = str("path")
-	o.attackList = str("attack")
-	o.stealthy = str("stealthy")
-	o.attackStart = num("attack-start")
-	o.attackDur = num("attack-dur")
-	o.windMean = num("wind")
-	o.maxSec = num("max-sec")
-	if v, ok := h.MetaValue("seed"); ok {
-		s, perr := strconv.ParseInt(v, 10, 64)
-		if perr != nil && err == nil {
-			err = fmt.Errorf("trace header seed=%q: %w", v, perr)
-		}
-		o.seed = s
-	}
-	if o.rv == "" || o.defense == "" || o.path == "" {
-		return o, fmt.Errorf("trace header is missing the delorean mission parameters (rv/defense/path)")
-	}
-	return o, err
-}
-
-func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-func parseStrategy(s string) (core.Strategy, error) {
-	strategy, ok := core.StrategyByName(s)
-	if !ok {
-		return 0, fmt.Errorf("unknown defense %q", s)
-	}
-	return strategy, nil
-}
-
-func parsePath(s string) (mission.PathKind, error) {
-	switch strings.ToUpper(s) {
-	case "S":
-		return mission.Straight, nil
-	case "MW":
-		return mission.MultiWaypoint, nil
-	case "C":
-		return mission.Circular, nil
-	case "P1":
-		return mission.Polygon1, nil
-	case "P2":
-		return mission.Polygon2, nil
-	case "P3":
-		return mission.Polygon3, nil
-	default:
-		return 0, fmt.Errorf("unknown path kind %q", s)
-	}
-}
-
-func parseStealthyMode(s string) (attack.Mode, error) {
-	switch strings.ToLower(s) {
-	case "random":
-		return attack.RandomBias, nil
-	case "gradual":
-		return attack.Gradual, nil
-	case "intermittent":
-		return attack.Intermittent, nil
-	default:
-		return 0, fmt.Errorf("unknown stealthy mode %q", s)
-	}
-}
-
-func parseTargets(s string) (sensors.TypeSet, error) {
-	out := sensors.NewTypeSet()
-	for _, name := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(name)) {
-		case "gps":
-			out.Add(sensors.GPS)
-		case "gyro", "gyroscope":
-			out.Add(sensors.Gyro)
-		case "accel", "accelerometer":
-			out.Add(sensors.Accel)
-		case "mag", "magnetometer":
-			out.Add(sensors.Mag)
-		case "baro", "barometer":
-			out.Add(sensors.Baro)
-		default:
-			return nil, fmt.Errorf("unknown sensor %q", name)
-		}
-	}
-	return out, nil
 }

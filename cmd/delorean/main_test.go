@@ -2,87 +2,20 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"testing"
 
-	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/mission"
-	"repro/internal/sensors"
+	"repro/internal/service"
 )
-
-func TestParseStrategy(t *testing.T) {
-	tests := []struct {
-		give    string
-		want    core.Strategy
-		wantErr bool
-	}{
-		{give: "DeLorean", want: core.StrategyDeLorean},
-		{give: "delorean", want: core.StrategyDeLorean},
-		{give: "LQR-O", want: core.StrategyLQRO},
-		{give: "lqro", want: core.StrategyLQRO},
-		{give: "none", want: core.StrategyNone},
-		{give: "SSR", want: core.StrategySSR},
-		{give: "PID-Piper", want: core.StrategyPIDPiper},
-		{give: "bogus", wantErr: true},
-	}
-	for _, tt := range tests {
-		got, err := parseStrategy(tt.give)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parseStrategy(%q) err = %v", tt.give, err)
-			continue
-		}
-		if !tt.wantErr && got != tt.want {
-			t.Errorf("parseStrategy(%q) = %v, want %v", tt.give, got, tt.want)
-		}
-	}
-}
-
-func TestParsePath(t *testing.T) {
-	tests := []struct {
-		give    string
-		want    mission.PathKind
-		wantErr bool
-	}{
-		{give: "S", want: mission.Straight},
-		{give: "mw", want: mission.MultiWaypoint},
-		{give: "C", want: mission.Circular},
-		{give: "p1", want: mission.Polygon1},
-		{give: "P2", want: mission.Polygon2},
-		{give: "P3", want: mission.Polygon3},
-		{give: "Z", wantErr: true},
-	}
-	for _, tt := range tests {
-		got, err := parsePath(tt.give)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parsePath(%q) err = %v", tt.give, err)
-			continue
-		}
-		if !tt.wantErr && got != tt.want {
-			t.Errorf("parsePath(%q) = %v, want %v", tt.give, got, tt.want)
-		}
-	}
-}
-
-func TestParseTargets(t *testing.T) {
-	got, err := parseTargets("GPS, gyro,accelerometer")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := sensors.NewTypeSet(sensors.GPS, sensors.Gyro, sensors.Accel)
-	if !got.Equal(want) {
-		t.Errorf("parseTargets = %v, want %v", got, want)
-	}
-	if _, err := parseTargets("lidar"); err == nil {
-		t.Error("expected error for unknown sensor")
-	}
-}
 
 // testOptions mirrors the flag defaults of main for direct run() tests.
 func testOptions() options {
 	return options{
-		rv: "ArduCopter", defense: "DeLorean", path: "S",
-		attackStart: 15, attackDur: 20, windMean: 1, maxSec: 300, seed: 1,
+		spec: service.MissionSpec{
+			RV: "ArduCopter", Defense: "DeLorean", Path: "S",
+			AttackStart: 15, AttackDur: 20, Wind: 1, MaxSec: 300, Seed: 1,
+		},
 	}
 }
 
@@ -91,9 +24,9 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Skip("full mission")
 	}
 	o := testOptions()
-	o.attackList = "GPS"
-	o.attackStart, o.attackDur = 12, 10
-	o.seed = 3
+	o.spec.Attack = "GPS"
+	o.spec.AttackStart, o.spec.AttackDur = 12, 10
+	o.spec.Seed = 3
 	if err := run(o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -108,10 +41,10 @@ func TestRecordReplayCLI(t *testing.T) {
 	}
 	dir := t.TempDir()
 	rec := testOptions()
-	rec.attackList = "GPS,gyroscope"
-	rec.attackStart, rec.attackDur = 12, 10
-	rec.seed = 7
-	rec.maxSec = 45
+	rec.spec.Attack = "GPS,gyroscope"
+	rec.spec.AttackStart, rec.spec.AttackDur = 12, 10
+	rec.spec.Seed = 7
+	rec.spec.MaxSec = 45
 	rec.recordPath = dir + "/m.trace"
 	rec.reportPath = dir + "/live.json"
 	if err := run(rec); err != nil {
@@ -134,44 +67,48 @@ func TestRecordReplayCLI(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadInputs verifies run() fails on bad specs and flag
+// combinations, and that every usage-class failure maps to exit code 2
+// while runtime failures (missing files) stay at 1.
 func TestRunRejectsBadInputs(t *testing.T) {
 	for _, tt := range []struct {
-		name   string
-		mutate func(*options)
+		name     string
+		mutate   func(*options)
+		wantExit int
 	}{
-		{"unknown RV", func(o *options) { o.rv = "NoSuchRV" }},
-		{"unknown defense", func(o *options) { o.defense = "wat" }},
-		{"unknown path", func(o *options) { o.path = "X9" }},
-		{"record and replay together", func(o *options) { o.recordPath = "a"; o.replayPath = "b" }},
-		{"replay of missing file", func(o *options) { o.replayPath = "/nonexistent/x.trace" }},
+		{"unknown RV", func(o *options) { o.spec.RV = "NoSuchRV" }, 2},
+		{"unknown defense", func(o *options) { o.spec.Defense = "wat" }, 2},
+		{"unknown path", func(o *options) { o.spec.Path = "X9" }, 2},
+		{"unknown sensor", func(o *options) { o.spec.Attack = "lidar" }, 2},
+		{"unknown stealthy mode", func(o *options) { o.spec.Attack = "GPS"; o.spec.Stealthy = "loud" }, 2},
+		{"record and replay together", func(o *options) { o.recordPath = "a"; o.replayPath = "b" }, 2},
+		{"replay of missing file", func(o *options) { o.replayPath = "/nonexistent/x.trace" }, 1},
 	} {
 		o := testOptions()
 		tt.mutate(&o)
-		if err := run(o); err == nil {
+		err := run(o)
+		if err == nil {
 			t.Errorf("%s: expected error", tt.name)
+			continue
+		}
+		if got := exitCode(err); got != tt.wantExit {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tt.name, err, got, tt.wantExit)
 		}
 	}
 }
 
-func TestParseStealthyMode(t *testing.T) {
-	tests := []struct {
-		give    string
-		want    attack.Mode
-		wantErr bool
-	}{
-		{give: "random", want: attack.RandomBias},
-		{give: "Gradual", want: attack.Gradual},
-		{give: "intermittent", want: attack.Intermittent},
-		{give: "persistent", wantErr: true},
+// TestUsageErrWraps verifies the usage-error helper preserves the wrapped
+// cause for errors.Is/As while still classifying as exit code 2.
+func TestUsageErrWraps(t *testing.T) {
+	cause := errors.New("boom")
+	err := usageErr{err: cause}
+	if !errors.Is(err, cause) {
+		t.Error("usageErr should unwrap to its cause")
 	}
-	for _, tt := range tests {
-		got, err := parseStealthyMode(tt.give)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parseStealthyMode(%q) err = %v", tt.give, err)
-			continue
-		}
-		if !tt.wantErr && got != tt.want {
-			t.Errorf("parseStealthyMode(%q) = %v, want %v", tt.give, got, tt.want)
-		}
+	if got := exitCode(usagef("bad flag %q", "-x")); got != 2 {
+		t.Errorf("exitCode(usagef(...)) = %d, want 2", got)
+	}
+	if got := exitCode(errors.New("io failed")); got != 1 {
+		t.Errorf("exitCode(runtime error) = %d, want 1", got)
 	}
 }

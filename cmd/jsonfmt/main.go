@@ -1,0 +1,52 @@
+// Command jsonfmt reformats one JSON document between the compact
+// NDJSON framing the mission service streams and the indented layout of
+// the committed golden reports, preserving every token byte-for-byte
+// (json.Compact/json.Indent never re-render numbers or strings). The CI
+// service-smoke gate uses it to diff a streamed report line against
+// internal/sim/testdata/attack_mission.report.golden.json without
+// trusting an external tool's number formatting.
+//
+// Usage:
+//
+//	jsonfmt [-indent] < in.json > out.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	indent := flag.Bool("indent", false, "indent with two spaces (default: compact to one line)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *indent); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer, indent bool) error {
+	in, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	// Indent preserves trailing whitespace from the source; trim it so
+	// the output framing is exactly one trailing newline either way.
+	in = bytes.TrimSpace(in)
+	var buf bytes.Buffer
+	if indent {
+		err = json.Indent(&buf, in, "", "  ")
+	} else {
+		err = json.Compact(&buf, in)
+	}
+	if err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = w.Write(buf.Bytes())
+	return err
+}

@@ -18,6 +18,14 @@
 // recorded mission replays bit-identically — CI replays a committed
 // trace and diffs the run report byte for byte.
 //
+// The same evaluator runs as a long-lived service: cmd/delorean-server
+// exposes missions and seed-sweep experiments over an HTTP JSON API
+// (internal/service) with NDJSON result streaming, bounded queues with
+// backpressure, per-tenant quotas, and graceful drain. Determinism
+// survives the service boundary — the same request body streams
+// byte-identical bytes at any pool size, and CI's service-smoke gate
+// replays the committed trace over real HTTP against the same golden.
+//
 // See README.md for a map of the packages, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for
 // paper-vs-measured results.

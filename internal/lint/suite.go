@@ -17,6 +17,7 @@ const (
 	fgPath        = modulePath + "/internal/fg"
 	tracePath     = modulePath + "/internal/trace"
 	sourcePath    = modulePath + "/internal/source"
+	servicePath   = modulePath + "/internal/service"
 )
 
 // DefaultAnalyzers returns the project's full analyzer suite, tuned to
@@ -62,6 +63,11 @@ func DefaultAnalyzers() []*Analyzer {
 				// and replay to the same bytes forever.
 				tracePath,
 				sourcePath,
+				// The mission service streams result bytes that must be
+				// identical at any pool size: wall-clock reads go through
+				// the clock seam (quota refill) and randomness through
+				// explicitly seeded rngs (experiment seed pre-draw).
+				servicePath,
 			},
 			ClockPath: clockPath,
 		}),
@@ -75,16 +81,23 @@ func DefaultAnalyzers() []*Analyzer {
 		}),
 		MapIter(MapIterConfig{Sinks: defaultSinks()}),
 		SharedWrite(SharedWriteConfig{
-			Runners: []FuncRef{runnerPath + ":Do"},
+			Runners: []FuncRef{
+				runnerPath + ":Do",
+				// Pool.Submit's callback runs on the service pool's
+				// shards; its writes are held to the same per-index-slot
+				// confinement as Do's.
+				runnerPath + ":Pool.Submit",
+			},
 		}),
 	}
 }
 
 // defaultSinks are the order-sensitive output package prefixes: anything
-// formatted (fmt), recorded in the run report (telemetry), or serialized
-// into an on-disk trace (trace) must not observe map iteration order.
+// formatted (fmt), recorded in the run report (telemetry), serialized
+// into an on-disk trace (trace), or streamed over the mission service's
+// NDJSON responses (service) must not observe map iteration order.
 func defaultSinks() []string {
-	return []string{"fmt", telemetryPath, tracePath}
+	return []string{"fmt", telemetryPath, tracePath, servicePath}
 }
 
 // defaultHotalloc declares the roots and cold cut points of the module's

@@ -1,0 +1,286 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is the long-lived, sharded variant of Do for the mission service:
+// a fixed set of executor shards pulling from one bounded queue that
+// outlives any single sweep. Where Do is born and dies with one batch,
+// the Pool accepts batches (tickets) for as long as the service runs,
+// enforces backpressure by rejecting submissions that do not fit the
+// queue, and drains gracefully — in-flight work finishes, new work is
+// refused.
+//
+// Determinism survives the pool the same way it survives Do: a ticket's
+// indices are released to the consumer strictly in submission order
+// (Ticket.Ready), never completion order, so the bytes a consumer
+// derives from a batch are identical at any shard count.
+var (
+	// ErrQueueFull rejects a submission that does not fit the bounded
+	// queue; the caller should shed load (HTTP 429) and retry later.
+	ErrQueueFull = errors.New("runner: pool queue full")
+	// ErrDraining rejects a submission to a draining pool; the caller
+	// should fail over (HTTP 503).
+	ErrDraining = errors.New("runner: pool draining")
+)
+
+// PoolStats is a point-in-time snapshot of the pool for /statusz.
+type PoolStats struct {
+	// Shards is the number of executor goroutines.
+	Shards int `json:"shards"`
+	// QueueDepth is the bound on queued (not yet executing) items.
+	QueueDepth int `json:"queue_depth"`
+	// Queued and Active are the current occupancy.
+	Queued int `json:"queued"`
+	Active int `json:"active"`
+	// Draining reports whether the pool has stopped accepting work.
+	Draining bool `json:"draining"`
+	// Lifetime item counters. Rejected counts whole submissions (not
+	// items) refused for queue-full or draining.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// Pool is safe for concurrent use. Create with NewPool; stop with Close.
+type Pool struct {
+	shards int
+	depth  int
+	tasks  chan poolTask
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals queued+active transitions for Drain
+	queued   int
+	active   int
+	draining bool
+	closed   bool
+	stats    PoolStats
+}
+
+type poolTask struct {
+	t *Ticket
+	i int
+}
+
+// NewPool starts a pool with the given shard count (<= 0 means
+// runtime.GOMAXPROCS(0)) and queue depth (<= 0 means 64).
+func NewPool(shards, depth int) *Pool {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &Pool{
+		shards: shards,
+		depth:  depth,
+		// Capacity depth keeps every reserved send non-blocking: Submit
+		// only enqueues after reserving queue slots under mu.
+		tasks: make(chan poolTask, depth),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < shards; i++ {
+		p.wg.Add(1)
+		go p.shard()
+	}
+	return p
+}
+
+// Submit reserves n queue slots all-or-nothing and enqueues fn(ctx, i)
+// for every i in [0, n). It never blocks: if the queue cannot hold all n
+// items the whole submission is rejected with ErrQueueFull, and a
+// draining pool rejects with ErrDraining. fn runs on the pool's shards
+// with the submission's ctx; each call should write only into its own
+// index of whatever the caller is collecting (the per-index-slot idiom
+// the sharedwrite analyzer enforces). Cancelling ctx skips queued items
+// and interrupts running ones; they are recorded as failed with ctx's
+// error. Consume results via the returned Ticket.
+func (p *Pool) Submit(ctx context.Context, n int, fn func(ctx context.Context, i int) error) (*Ticket, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("runner: pool submission of %d items", n)
+	}
+	t := &Ticket{
+		ctx:   ctx,
+		fn:    fn,
+		n:     n,
+		errs:  make([]error, n),
+		done:  make([]bool, n),
+		ready: make(chan int, n),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		p.stats.Rejected++
+		return nil, ErrDraining
+	}
+	if p.queued+n > p.depth {
+		p.stats.Rejected++
+		return nil, ErrQueueFull
+	}
+	p.queued += n
+	p.stats.Submitted += int64(n)
+	// Enqueue under mu: the reservation guarantees capacity, so these
+	// sends cannot block, and holding mu excludes a concurrent Close.
+	for i := 0; i < n; i++ {
+		p.tasks <- poolTask{t: t, i: i}
+	}
+	return t, nil
+}
+
+// shard is one executor goroutine: it pulls queued items until the pool
+// closes, running each through its ticket.
+func (p *Pool) shard() {
+	defer p.wg.Done()
+	for tk := range p.tasks {
+		p.mu.Lock()
+		p.queued--
+		p.active++
+		p.mu.Unlock()
+
+		err := tk.t.run(tk.i)
+
+		p.mu.Lock()
+		p.active--
+		if err != nil {
+			p.stats.Failed++
+		} else {
+			p.stats.Completed++
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// BeginDrain flips the pool into draining mode — every new Submit is
+// rejected with ErrDraining — without waiting for in-flight work.
+func (p *Pool) BeginDrain() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+}
+
+// Drain flips the pool into draining mode — every new Submit is rejected
+// with ErrDraining — and blocks until all queued and active items have
+// finished, or ctx expires (returning ctx.Err() with work still in
+// flight). Drain does not stop the shards; call Close afterwards to
+// reclaim them.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.BeginDrain()
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.queued+p.active > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.cond.Wait()
+	}
+	return nil
+}
+
+// Close marks the pool draining, closes the queue, and waits for the
+// shards to finish whatever is already queued. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.draining = true
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a consistent snapshot of the pool.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Shards = p.shards
+	s.QueueDepth = p.depth
+	s.Queued = p.queued
+	s.Active = p.active
+	s.Draining = p.draining
+	return s
+}
+
+// Ticket is the handle to one submitted batch. Results are released in
+// submission order: Ready yields 0, 1, 2, … as soon as every index up to
+// and including that one has finished, and is closed after the last. The
+// in-order release is what carries the runner's determinism contract
+// across the service boundary — a consumer streaming records as indices
+// arrive emits identical bytes at any shard count.
+type Ticket struct {
+	ctx context.Context
+	fn  func(context.Context, int) error
+	n   int
+
+	mu    sync.Mutex
+	errs  []error
+	done  []bool
+	next  int
+	ready chan int
+}
+
+// run executes index i (or skips it when the submission's ctx is already
+// done), records the outcome, and releases any newly contiguous prefix.
+func (t *Ticket) run(i int) error {
+	err := t.ctx.Err()
+	if err == nil {
+		err = runOne(t.ctx, i, t.fn)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.errs[i] = err
+	t.done[i] = true
+	for t.next < t.n && t.done[t.next] {
+		// Never blocks: ready is buffered to the batch size.
+		t.ready <- t.next
+		t.next++
+	}
+	if t.next == t.n {
+		close(t.ready)
+	}
+	return err
+}
+
+// Ready yields finished indices in submission order and is closed after
+// index n-1 is released.
+func (t *Ticket) Ready() <-chan int { return t.ready }
+
+// Err returns the outcome of a released index (nil on success). Only
+// valid for indices already received from Ready.
+func (t *Ticket) Err(i int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.errs[i]
+}
+
+// Wait blocks until every index has finished (draining Ready) and
+// returns the lowest-indexed failure, mirroring Do's error contract.
+func (t *Ticket) Wait() error {
+	for range t.ready {
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, err := range t.errs {
+		if err != nil {
+			return &doError{index: i, err: err}
+		}
+	}
+	return nil
+}

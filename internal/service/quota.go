@@ -1,0 +1,110 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// maxTenants bounds the bucket map; when exceeded, buckets that have
+// refilled to burst (indistinguishable from fresh ones) are pruned.
+const maxTenants = 1024
+
+// quota is a per-tenant token bucket: each tenant accrues rate tokens
+// per second up to burst, and a submission of n missions costs n tokens.
+// Time flows through the internal/clock seam, so the determinism fence
+// holds and tests can drive refill with a fake clock. A nil *quota
+// admits everything (quotas disabled).
+type quota struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuota builds a quota, or nil (unlimited) when rate is not positive.
+// A non-positive burst defaults to 16 tokens.
+func newQuota(rate, burst float64) *quota {
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil
+	}
+	if burst <= 0 || math.IsNaN(burst) {
+		burst = 16
+	}
+	return &quota{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow charges cost tokens to the tenant's bucket. When the bucket
+// cannot cover the cost it is left untouched and allow reports how long
+// the tenant must wait for the charge to succeed (the HTTP layer turns
+// this into 429 + Retry-After). A cost beyond burst is charged as a full
+// burst — an oversized request is throttled to the bucket's refill
+// cadence instead of being unsatisfiable forever.
+func (q *quota) allow(tenant string, cost float64) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	if cost > q.burst {
+		cost = q.burst
+	}
+	now := clock.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		q.prune()
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rate)
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	wait := (cost - b.tokens) / q.rate
+	return false, time.Duration(wait * float64(time.Second))
+}
+
+// prune drops buckets that have refilled to burst; they behave exactly
+// like fresh buckets, so forgetting them is invisible to tenants.
+// Callers hold mu.
+func (q *quota) prune() {
+	if len(q.buckets) < maxTenants {
+		return
+	}
+	now := clock.Now()
+	for tenant, b := range q.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*q.rate >= q.burst {
+			delete(q.buckets, tenant)
+		}
+	}
+}
+
+// QuotaStatus is the quota block of /statusz.
+type QuotaStatus struct {
+	Enabled bool    `json:"enabled"`
+	Rate    float64 `json:"rate,omitempty"`
+	Burst   float64 `json:"burst,omitempty"`
+	Tenants int     `json:"tenants"`
+}
+
+// status snapshots the quota for /statusz.
+func (q *quota) status() QuotaStatus {
+	if q == nil {
+		return QuotaStatus{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QuotaStatus{Enabled: true, Rate: q.rate, Burst: q.burst, Tenants: len(q.buckets)}
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// fakeClock drives quota refill deterministically through the clock seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func installClock(t *testing.T) *fakeClock {
+	t.Helper()
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	t.Cleanup(clock.SetForTest(c.now))
+	return c
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	if q := newQuota(0, 10); q != nil {
+		t.Fatal("rate 0 should disable quotas")
+	}
+	var q *quota
+	if ok, _ := q.allow("anyone", 1e9); !ok {
+		t.Error("nil quota must admit everything")
+	}
+	if st := q.status(); st.Enabled {
+		t.Error("nil quota reports enabled")
+	}
+}
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	ck := installClock(t)
+	q := newQuota(2, 4) // 2 tokens/s, burst 4
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.allow("a", 1); !ok {
+			t.Fatalf("charge %d within burst rejected", i)
+		}
+	}
+	ok, wait := q.allow("a", 1)
+	if ok {
+		t.Fatal("empty bucket admitted a charge")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("retry hint = %v, want (0, 500ms] scale", wait)
+	}
+	ck.advance(time.Second) // refills 2 tokens
+	if ok, _ := q.allow("a", 2); !ok {
+		t.Error("refilled tokens not granted")
+	}
+	if ok, _ := q.allow("a", 1); ok {
+		t.Error("bucket should be empty again")
+	}
+}
+
+func TestQuotaOversizedCostIsThrottledNotStarved(t *testing.T) {
+	installClock(t)
+	q := newQuota(1, 2)
+	// A cost beyond burst charges a full burst instead of being
+	// unsatisfiable forever.
+	if ok, _ := q.allow("a", 100); !ok {
+		t.Fatal("oversized first charge should drain the full bucket and pass")
+	}
+	if ok, _ := q.allow("a", 1); ok {
+		t.Error("bucket should be drained after the oversized charge")
+	}
+}
+
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	installClock(t)
+	q := newQuota(1, 1)
+	if ok, _ := q.allow("a", 1); !ok {
+		t.Fatal("tenant a first charge rejected")
+	}
+	if ok, _ := q.allow("b", 1); !ok {
+		t.Error("tenant b shares tenant a's bucket")
+	}
+	if st := q.status(); st.Tenants != 2 {
+		t.Errorf("tenants = %d, want 2", st.Tenants)
+	}
+}
+
+func TestQuotaPruneBoundsTenantMap(t *testing.T) {
+	ck := installClock(t)
+	q := newQuota(1000, 1)
+	for i := 0; i < maxTenants; i++ {
+		_, _ = q.allow(string(rune('a'))+time.Duration(i).String(), 1)
+	}
+	// Everyone refills; the next new tenant triggers a prune.
+	ck.advance(time.Hour)
+	_, _ = q.allow("fresh", 1)
+	if n := q.status().Tenants; n > 2 {
+		t.Errorf("tenant map not pruned: %d entries", n)
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// The NDJSON record vocabulary of a result stream. Every record is one
+// compact JSON object on one line; nothing in a record depends on
+// wall-clock time, worker identity, or completion order, so the whole
+// stream is byte-identical for a given request at any pool size. The
+// final line of a fully successful batch is the bare versioned
+// telemetry.Report (distinguished by its leading "version" field).
+type acceptedRecord struct {
+	Type     string `json:"type"` // "accepted"
+	Name     string `json:"name"`
+	Missions int    `json:"missions"`
+}
+
+type missionRecord struct {
+	Type                string  `json:"type"` // "mission"
+	Index               int     `json:"index"`
+	Label               string  `json:"label,omitempty"`
+	Success             bool    `json:"success"`
+	Crashed             bool    `json:"crashed"`
+	Stalled             bool    `json:"stalled"`
+	DurationSec         float64 `json:"duration_sec"`
+	FinalDistanceM      float64 `json:"final_distance_m"`
+	Ticks               int     `json:"ticks"`
+	RecoveryActivations int     `json:"recovery_activations"`
+}
+
+type errorRecord struct {
+	Type  string `json:"type"` // "error"
+	Index int    `json:"index"`
+	Label string `json:"label,omitempty"`
+	Error string `json:"error"`
+}
+
+type failedRecord struct {
+	Type     string `json:"type"` // "failed"
+	Failed   int    `json:"failed"`
+	Missions int    `json:"missions"`
+}
+
+// stream writes NDJSON records to an HTTP response, flushing after each
+// line so clients see progress live. The first write commits the 200
+// status. After a write error (client gone) it becomes a no-op; the
+// request context's cancellation — not the stream — is what stops the
+// batch.
+type stream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+	err     error
+}
+
+func newStream(w http.ResponseWriter) *stream {
+	f, _ := w.(http.Flusher)
+	return &stream{w: w, flusher: f}
+}
+
+// start commits the response headers once.
+func (s *stream) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.w.Header().Set("Content-Type", "application/x-ndjson")
+	s.w.WriteHeader(http.StatusOK)
+}
+
+// record marshals one record onto its own line.
+func (s *stream) record(v any) {
+	if s.err != nil {
+		return
+	}
+	s.start()
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.write(append(b, '\n'))
+}
+
+// reportLine streams the final run report as one compact line.
+func (s *stream) reportLine(rep *telemetry.Report) {
+	if s.err != nil {
+		return
+	}
+	s.start()
+	if err := rep.WriteNDJSON(s.w); err != nil {
+		s.err = err
+		return
+	}
+	s.flush()
+}
+
+func (s *stream) write(b []byte) {
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.flush()
+}
+
+func (s *stream) flush() {
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}

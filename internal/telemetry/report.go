@@ -131,3 +131,18 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	_, err = w.Write([]byte("\n"))
 	return err
 }
+
+// WriteNDJSON renders the report as a single compact line with a
+// trailing newline — the framing the mission service streams as the
+// final record of a result stream. The bytes are exactly WriteJSON's
+// with the indentation removed (json.Compact of one equals json.Marshal
+// of the other), so a streamed report and a written report file pin the
+// same content.
+func (r *Report) WriteNDJSON(w io.Writer) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 )
 
@@ -187,5 +188,37 @@ func TestReportJSONStable(t *testing.T) {
 	}
 	if !bytes.Contains(first, []byte(`"version": 1`)) {
 		t.Error("report JSON missing version field")
+	}
+}
+
+// TestWriteNDJSONMatchesWriteJSON pins the framing equivalence the
+// mission service relies on: the single NDJSON line is exactly the
+// indented report with its whitespace compacted — same tokens, same
+// number rendering.
+func TestWriteNDJSONMatchesWriteJSON(t *testing.T) {
+	c := NewCollector()
+	c.Begin("a")
+	c.Add(attackedMission(7))
+	rep, err := c.Report(Meta{Generator: "test", Missions: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indented, line bytes.Buffer
+	if err := rep.WriteJSON(&indented); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteNDJSON(&line); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(line.Bytes(), []byte("\n")); n != 1 || !bytes.HasSuffix(line.Bytes(), []byte("\n")) {
+		t.Fatalf("NDJSON framing: %d newlines, want exactly one, trailing", n)
+	}
+	var compacted bytes.Buffer
+	if err := json.Compact(&compacted, indented.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	compacted.WriteByte('\n')
+	if !bytes.Equal(line.Bytes(), compacted.Bytes()) {
+		t.Error("WriteNDJSON differs from compacted WriteJSON bytes")
 	}
 }

@@ -30,6 +30,8 @@ go test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSinglefli
 echo "== race (pipeline FSM + legacy equivalence) =="
 go test -race -timeout 1800s -run 'TestPipelineEquivalence|TestLegalTransition|TestTransition|TestModeSides' ./internal/core
 go test -race -timeout 1800s -run 'TestTraceTransitions' ./internal/sim
+echo "== race (mission service: drain, backpressure, disconnect, determinism) =="
+go test -race -timeout 1800s -run 'TestService' ./internal/service
 if command -v shellcheck >/dev/null 2>&1; then
     echo "== shellcheck =="
     shellcheck scripts/*.sh

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# loadtest.sh — bounded concurrent load against delorean-server with a
+# byte-identity assertion: N identical experiment submissions race on the
+# mission pool, and every response body must be byte-identical to the
+# first. Any timestamp, worker id, completion-order leak, or cross-request
+# state bleed shows up as a diff. The server must then drain cleanly.
+#
+# Knobs: LOADTEST_REQUESTS (default 16 concurrent submissions),
+# LOADTEST_MISSIONS (default 4 missions per submission).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${LOADTEST_REQUESTS:-16}"
+MISSIONS="${LOADTEST_MISSIONS:-4}"
+
+tmp="$(mktemp -d /tmp/loadtest.XXXXXX)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/delorean-server" ./cmd/delorean-server
+
+echo "== boot =="
+# Queue deep enough that no submission is shed: this gate is about result
+# bytes under concurrency, not backpressure (the unit tests cover 429s).
+"$tmp/delorean-server" -addr 127.0.0.1:0 -queue 4096 > "$tmp/server.log" 2>&1 &
+server_pid=$!
+
+base_url=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "FAIL: server exited during boot" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    line="$(grep -m1 'listening on' "$tmp/server.log" || true)"
+    if [ -n "$line" ]; then
+        base_url="${line##*listening on }"
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$base_url" ]; then
+    echo "FAIL: server never printed its listen address" >&2
+    exit 1
+fi
+echo "server at $base_url"
+
+body="{\"attack\":\"GPS\",\"attack_start\":5,\"attack_dur\":5,\"seed\":11,\"max_sec\":30,\"missions\":$MISSIONS,\"name\":\"loadtest\"}"
+
+echo "== $REQUESTS concurrent submissions × $MISSIONS missions =="
+pids=()
+for i in $(seq 1 "$REQUESTS"); do
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "$body" "$base_url/v1/experiments" > "$tmp/resp.$i" &
+    pids+=("$!")
+done
+fail=0
+for pid in "${pids[@]}"; do
+    wait "$pid" || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: a submission errored" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+fi
+
+echo "== byte-identity across responses =="
+for i in $(seq 2 "$REQUESTS"); do
+    if ! cmp -s "$tmp/resp.1" "$tmp/resp.$i"; then
+        echo "FAIL: response $i differs from response 1 under load" >&2
+        diff -u "$tmp/resp.1" "$tmp/resp.$i" > "$tmp/resp.diff" || true
+        head -20 "$tmp/resp.diff" >&2
+        exit 1
+    fi
+done
+echo "all $REQUESTS responses byte-identical ($(wc -c < "$tmp/resp.1") bytes each)"
+
+echo "== graceful drain =="
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+grep -q 'drained, bye' "$tmp/server.log"
+echo "ok: load test passed"

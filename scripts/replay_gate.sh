@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # replay_gate.sh — the replay-determinism gate: replaying the committed
 # recorded mission (internal/sim/testdata/attack_mission.trace) must
 # reproduce the committed golden run report byte for byte.
@@ -9,8 +9,12 @@
 # diagnosis, recovery — stays bit-deterministic for a fixed sensor
 # stream. Regenerate the corpus only deliberately, via
 # scripts/record_corpus.sh (make record-corpus), and commit the diff.
-set -eu
-cd "$(dirname "$0")/.." || exit 1
+#
+# The script runs under pipefail, and the comparison is diff itself (to
+# a file, not through a pipe), so the gate's exit status is exactly the
+# comparison's verdict — no `|| true` masking, no SIGPIPE ambiguity.
+set -euo pipefail
+cd "$(dirname "$0")/.."
 
 TRACE=internal/sim/testdata/attack_mission.trace
 GOLD=internal/sim/testdata/attack_mission.report.golden.json
@@ -20,9 +24,9 @@ trap 'rm -rf "$tmp"' EXIT
 
 go run ./cmd/delorean -replay "$TRACE" -report "$tmp/report.json"
 
-if ! cmp -s "$GOLD" "$tmp/report.json"; then
+if ! diff -u "$GOLD" "$tmp/report.json" > "$tmp/report.diff"; then
     echo "FAIL: replayed report drifted from $GOLD" >&2
-    diff -u "$GOLD" "$tmp/report.json" | head -40 >&2 || true
+    head -40 "$tmp/report.diff" >&2
     echo "replay gate FAILED" >&2
     exit 1
 fi

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# service_smoke.sh — the mission-service smoke gate: boot delorean-server
+# on a random port, submit the committed replay-corpus mission over real
+# HTTP, and require the streamed run report to be byte-identical to the
+# committed golden (internal/sim/testdata/attack_mission.report.golden.json).
+#
+# This extends the replay gate across the service boundary: decode the
+# trace from a JSON request body, replay it on the mission pool, stream
+# the report back as NDJSON — and the bytes still may not drift. The
+# streamed line is compact JSON; cmd/jsonfmt re-indents it with Go's own
+# byte-preserving json.Indent (never an external tool that might re-render
+# numbers) before comparing against the indented golden. The gate also
+# exercises /healthz, /statusz counters, and the SIGTERM drain path:
+# the server must exit 0 on its own.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACE=internal/sim/testdata/attack_mission.trace
+GOLD=internal/sim/testdata/attack_mission.report.golden.json
+
+tmp="$(mktemp -d /tmp/service_smoke.XXXXXX)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/delorean-server" ./cmd/delorean-server
+go build -o "$tmp/jsonfmt" ./cmd/jsonfmt
+
+echo "== boot =="
+"$tmp/delorean-server" -addr 127.0.0.1:0 -shards 4 > "$tmp/server.log" 2>&1 &
+server_pid=$!
+
+# The server prints "delorean-server listening on http://HOST:PORT" once
+# bound; poll for it rather than racing the bind.
+base_url=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "FAIL: server exited during boot" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    line="$(grep -m1 'listening on' "$tmp/server.log" || true)"
+    if [ -n "$line" ]; then
+        base_url="${line##*listening on }"
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$base_url" ]; then
+    echo "FAIL: server never printed its listen address" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+fi
+echo "server at $base_url"
+
+echo "== healthz =="
+curl -fsS "$base_url/healthz" | grep -qx ok
+
+echo "== replay over HTTP =="
+printf '{"trace_b64":"%s"}' "$(base64 < "$TRACE" | tr -d '\n')" > "$tmp/request.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$tmp/request.json" \
+    "$base_url/v1/missions" > "$tmp/stream.ndjson"
+
+tail -n 1 "$tmp/stream.ndjson" | "$tmp/jsonfmt" -indent > "$tmp/report.json"
+if ! diff -u "$GOLD" "$tmp/report.json" > "$tmp/report.diff"; then
+    echo "FAIL: HTTP-streamed report drifted from $GOLD" >&2
+    head -40 "$tmp/report.diff" >&2
+    echo "service smoke FAILED" >&2
+    exit 1
+fi
+echo "streamed report byte-identical to the committed golden"
+
+echo "== statusz =="
+curl -fsS "$base_url/statusz" > "$tmp/statusz.json"
+grep -q '"completed":1' "$tmp/statusz.json"
+grep -q '"service":"delorean-server"' "$tmp/statusz.json"
+
+echo "== graceful drain =="
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+grep -q 'drained, bye' "$tmp/server.log"
+echo "ok: service smoke passed"
