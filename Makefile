@@ -21,10 +21,12 @@ lint:
 race:
 	$(GO) test -race -short ./...
 
-# Un-short race pass over the parallel runner and the workers=1-vs-8
-# determinism sweep — the two places a data race could corrupt results.
+# Un-short race pass over the parallel runner, the batched fleet
+# executor, and the workers=1-vs-8 determinism sweep — the places a data
+# race could corrupt results.
 race-runner:
 	$(GO) test -race -timeout 1800s ./internal/runner
+	$(GO) test -race -timeout 1800s ./internal/fleet
 	$(GO) test -race -timeout 1800s -run 'TestParallelDeterminism|TestDeltaForSingleflight|TestReportDeterminism' ./internal/experiments
 
 # Pipeline-equivalence gate: reduced experiment suite vs the committed
@@ -61,9 +63,10 @@ record-corpus:
 check:
 	sh scripts/check.sh
 
-# Before/after hot-path benchmark comparison against the pre-refactor
-# tree (git worktree), plus the byte-identity check; writes BENCH_PR5.json.
-# See scripts/bench_compare.sh for the BEFORE_REF/BENCHTIME knobs.
+# Before/after hot-path benchmark comparison against the pre-fleet tree
+# (git worktree), the runner-vs-fleet engine race, and the byte-identity
+# check; writes BENCH_PR9.json. See scripts/bench_compare.sh for the
+# BEFORE_REF/BENCHTIME/MIN_FLEET_SPEEDUP knobs.
 bench:
 	bash scripts/bench_compare.sh
 

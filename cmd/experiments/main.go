@@ -10,13 +10,20 @@
 // per-stage cost-model totals, and one event trace per experiment —
 // byte-identical at any -workers setting.
 //
+// -fleet swaps the per-goroutine runner for the batched fleet executor
+// (internal/fleet): missions are partitioned into profile-homogeneous
+// batches stepped in lockstep over shared per-(profile, dt) caches.
+// Output stays byte-identical; missions/sec/core improves. -batch tunes
+// the lockstep width and requires -fleet (usage errors exit 2).
+//
 // Usage:
 //
-//	experiments -exp all -missions 25 -seed 1 [-workers 0] [-out EXPERIMENTS.md] [-report report.json]
+//	experiments -exp all -missions 25 -seed 1 [-workers 0] [-fleet [-batch 64]] [-out EXPERIMENTS.md] [-report report.json]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,8 +35,24 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
+
+// options carries the parsed command line into run.
+type options struct {
+	exp       string
+	missions  int
+	seed      int64
+	windCap   float64
+	workers   int
+	out       string
+	report    string
+	progress  bool
+	fleet     bool
+	batch     int
+	flagsSeen map[string]bool
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(experiments.Names(), ", ")+", fig8a")
@@ -41,7 +64,17 @@ func main() {
 	report := flag.String("report", "", "write the machine-readable run report (JSON) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	progress := flag.Bool("progress", false, "report per-sweep mission completion on stderr")
+	fleetFlag := flag.Bool("fleet", false, "execute missions on the batched fleet executor (lockstep batches over shared per-profile caches); output is identical, throughput is not")
+	batch := flag.Int("batch", 0, "fleet lockstep batch size (0 = default); requires -fleet")
 	flag.Parse()
+
+	o := options{
+		exp: *exp, missions: *missions, seed: *seed, windCap: *windCap,
+		workers: *workers, out: *out, report: *report, progress: *progress,
+		fleet: *fleetFlag, batch: *batch,
+		flagsSeen: make(map[string]bool),
+	}
+	flag.Visit(func(f *flag.Flag) { o.flagsSeen[f.Name] = true })
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -50,10 +83,46 @@ func main() {
 		go servePprof(*pprofAddr)
 	}
 
-	if err := run(ctx, *exp, *missions, *seed, *windCap, *workers, *out, *report, *progress); err != nil {
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageErr marks a command-line usage mistake — as opposed to a runtime
+// failure — so main can exit with the conventional usage code, mirroring
+// cmd/delorean's convention.
+type usageErr struct{ err error }
+
+func (e usageErr) Error() string { return e.err.Error() }
+func (e usageErr) Unwrap() error { return e.err }
+
+// usagef builds a usage error (exit code 2).
+func usagef(format string, args ...any) error {
+	return usageErr{err: fmt.Errorf(format, args...)}
+}
+
+// exitCode maps an error to the process exit code: 2 for usage mistakes
+// (explicit usagef, invalid mission configs), 1 for everything else.
+func exitCode(err error) int {
+	var ue usageErr
+	var ce *sim.ConfigError
+	if errors.As(err, &ue) || errors.As(err, &ce) {
+		return 2
+	}
+	return 1
+}
+
+// validate rejects flag combinations the selected execution engine does
+// not support.
+func (o options) validate() error {
+	if o.flagsSeen["batch"] && !o.fleet {
+		return usagef("-batch only applies to the fleet executor; pass -fleet")
+	}
+	if o.batch < 0 {
+		return usagef("-batch must be non-negative, got %d", o.batch)
+	}
+	return nil
 }
 
 // servePprof exposes the standard pprof endpoints for profiling a run.
@@ -70,40 +139,46 @@ func servePprof(addr string) {
 	}
 }
 
-func run(ctx context.Context, exp string, missions int, seed int64, windCap float64, workers int, outPath, reportPath string, progress bool) error {
+func run(ctx context.Context, o options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
 	var w io.Writer = os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	opt := experiments.Options{Missions: missions, Seed: seed, Wind: windCap, Workers: workers}
-	if progress {
+	opt := experiments.Options{
+		Missions: o.missions, Seed: o.seed, Wind: o.windCap, Workers: o.workers,
+		Fleet: o.fleet, BatchSize: o.batch,
+	}
+	if o.progress {
 		opt.Progress = func(completed, total int) {
 			if completed == total || completed%10 == 0 {
 				fmt.Fprintf(os.Stderr, "  sweep %d/%d\r", completed, total)
 			}
 		}
 	}
-	if reportPath != "" {
+	if o.report != "" {
 		opt.Collector = telemetry.NewCollector()
 	}
 
-	runErr := runExperiments(ctx, exp, w, opt)
+	runErr := runExperiments(ctx, o.exp, w, opt)
 	if runErr != nil {
 		return runErr
 	}
-	if reportPath == "" {
+	if o.report == "" {
 		return nil
 	}
-	return writeReport(reportPath, opt.Collector, telemetry.Meta{
+	return writeReport(o.report, opt.Collector, telemetry.Meta{
 		Generator: "cmd/experiments",
-		Missions:  missions,
-		Seed:      seed,
-		Wind:      windCap,
+		Missions:  o.missions,
+		Seed:      o.seed,
+		Wind:      o.windCap,
 	})
 }
 

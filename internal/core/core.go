@@ -63,6 +63,12 @@ type Config struct {
 	// Telemetry receives the mission's pipeline events and counters. Nil
 	// disables event recording (a nil Recorder is a valid no-op sink).
 	Telemetry *telemetry.Recorder
+	// Shared, when non-nil, supplies the read-only per-(profile, dt)
+	// caches — recovery LQR gain, EKF covariance schedule, diagnosis
+	// graph specs — built once by the fleet executor and referenced by
+	// every mission in a batch. Must match Profile.Name and DT; results
+	// are bit-identical with or without it.
+	Shared *Shared
 }
 
 // Framework is the historical name for the staged defense Pipeline; the

@@ -97,6 +97,10 @@ func New(cfg Config, strategy Strategy) (*Pipeline, error) {
 	if cfg.DetectThresh == (detect.Thresholds{}) {
 		cfg.DetectThresh = detectThreshFromDelta(cfg.Delta)
 	}
+	if cfg.Shared != nil && !cfg.Shared.Matches(cfg.Profile.Name, cfg.DT) {
+		return nil, fmt.Errorf("core: shared caches are for (%s), not (%s, dt=%v)",
+			cfg.Shared.profile, cfg.Profile.Name, cfg.DT)
+	}
 	p := &Pipeline{
 		cfg:         cfg,
 		strategy:    strategy,
@@ -117,12 +121,23 @@ func New(cfg Config, strategy Strategy) (*Pipeline, error) {
 	}
 	p.diagnoser = cfg.Diagnoser
 	if p.diagnoser == nil {
-		p.diagnoser = diagnosis.NewDeLorean(cfg.Delta)
+		if cfg.Shared != nil {
+			p.diagnoser = diagnosis.NewDeLoreanSpec(cfg.Delta, cfg.Shared.graphSpec(cfg.Delta))
+		} else {
+			p.diagnoser = diagnosis.NewDeLorean(cfg.Delta)
+		}
 	}
 	p.reconstructor = reconstruct.New(cfg.Profile, cfg.DT)
 	p.approxStep = approxModel(cfg.Profile)
 
-	lqr, err := recovery.NewLQR(cfg.Profile, cfg.DT)
+	var lqr *recovery.LQR
+	var err error
+	if cfg.Shared != nil {
+		p.filter.AttachSchedule(cfg.Shared.ekf)
+		lqr, err = recovery.NewLQRShared(cfg.Profile, cfg.DT, cfg.Shared.lqrQuad)
+	} else {
+		lqr, err = recovery.NewLQR(cfg.Profile, cfg.DT)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -74,6 +74,17 @@ type Filter struct {
 	obs     []obsChannel
 	magYawN float64
 
+	// sched, when non-nil, is the shared covariance/gain schedule this
+	// filter consumes instead of running its own covariance recursion
+	// (see schedule.go). schedIdx counts the completed shared
+	// predict/correct cycles since Init; -1 means the filter runs (or has
+	// fallen back to) the private recursion. predPending marks a shared
+	// covariance propagation that has been skipped in Predict*/ and not
+	// yet consumed by Correct.
+	sched       *Schedule
+	schedIdx    int
+	predPending bool
+
 	ws workspace
 }
 
@@ -107,16 +118,17 @@ type workspace struct {
 	// Correct scratch, reshaped to the active row count m each call.
 	rows  []obsChannel
 	z     []float64
-	h     *mat.Mat // m×nx observation matrix
-	ht    *mat.Mat // nx×m
-	ph    *mat.Mat // nx×m
-	pht   *mat.Mat // m×nx
-	hph   *mat.Mat // m×m
-	rmat  *mat.Mat // m×m measurement-noise diagonal
-	s     *mat.Mat // m×m innovation covariance
-	st    *mat.Mat // m×m
-	kt    *mat.Mat // m×nx gain transpose
-	k     *mat.Mat // nx×m gain
+	h     *mat.Mat  // m×nx observation matrix
+	ht    *mat.Mat  // nx×m
+	ph    *mat.Mat  // nx×m
+	pht   *mat.Mat  // m×nx
+	hph   *mat.Mat  // m×m
+	rmat  *mat.Mat  // m×m measurement-noise diagonal
+	s     *mat.Mat  // m×m innovation covariance
+	st    *mat.Mat  // m×m
+	kt    *mat.Mat  // m×nx gain transpose
+	k     *mat.Mat  // nx×m gain
+	gates []float64 // per-row innovation gate half-widths
 	xvec  mat.Vec
 	innov mat.Vec
 	dx    mat.Vec
@@ -143,6 +155,7 @@ func newWorkspace(maxM int) workspace {
 		st:    mat.New(maxM, maxM),
 		kt:    mat.New(maxM, nx),
 		k:     mat.New(nx, maxM),
+		gates: make([]float64, 0, maxM),
 		xvec:  mat.NewVec(nx),
 		innov: mat.NewVec(maxM),
 		dx:    mat.NewVec(nx),
@@ -177,13 +190,14 @@ func New(p vehicle.Profile) *Filter {
 		{sensor: sensors.Gyro, state: 7, noise: nz(20 * n.Gyro)},
 	}
 	return &Filter{
-		step:    StepForProfile(p),
-		isQuad:  p.IsQuad(),
-		p:       mat.Identity(nx).Scale(0.1),
-		q:       defaultProcessNoise(),
-		obs:     obs,
-		magYawN: nz(10 * n.Mag),
-		ws:      newWorkspace(len(obs)),
+		step:     StepForProfile(p),
+		isQuad:   p.IsQuad(),
+		p:        mat.Identity(nx).Scale(0.1),
+		q:        defaultProcessNoise(),
+		obs:      obs,
+		magYawN:  nz(10 * n.Mag),
+		schedIdx: -1,
+		ws:       newWorkspace(len(obs)),
 	}
 }
 
@@ -217,23 +231,76 @@ func defaultProcessNoise() *mat.Mat {
 	return mat.Diag(d)
 }
 
-// Init seeds the filter state.
+// Init seeds the filter state. If a schedule is attached, Init (re)arms
+// consumption from step 0.
 func (f *Filter) Init(s vehicle.State) {
 	f.x = s
 	f.p = mat.Identity(nx).Scale(0.1)
 	f.ws.fkin = nil
 	f.ws.fkinT = nil
+	f.predPending = false
+	if f.sched != nil {
+		f.schedIdx = 0
+	} else {
+		f.schedIdx = -1
+	}
+}
+
+// AttachSchedule points the filter at a shared covariance/gain schedule.
+// Must be called before Init; the schedule must have been built for the
+// same profile and tick period the filter will run at (Correct detaches
+// defensively on any mismatch it can observe).
+func (f *Filter) AttachSchedule(s *Schedule) {
+	f.sched = s
+	f.predPending = false
+	if s != nil {
+		f.schedIdx = 0
+	} else {
+		f.schedIdx = -1
+	}
+}
+
+// onShared reports whether the filter is currently consuming the shared
+// schedule rather than running its private covariance recursion.
+func (f *Filter) onShared() bool { return f.schedIdx >= 0 }
+
+// detachShared permanently drops the filter off the shared schedule: it
+// materializes the private covariance the schedule has been carrying on
+// its behalf and, if a propagation was pending, runs it privately. From
+// here on the filter is indistinguishable from one that ran the private
+// recursion the whole mission. Cold path — it allocates during schedule
+// replay; detachment is sticky so it runs at most once per mission.
+func (f *Filter) detachShared() {
+	sched, idx, pending := f.sched, f.schedIdx, f.predPending
+	f.schedIdx = -1
+	f.predPending = false
+	sched.seedPost(idx-1, f.p)
+	if pending {
+		f.propagateCovariance(vehicle.Input{}, sched.dt)
+	}
 }
 
 // State returns the current estimate.
 func (f *Filter) State() vehicle.State { return f.x }
 
-// Covariance returns a copy of the estimate covariance.
-func (f *Filter) Covariance() *mat.Mat { return f.p.Clone() }
+// Covariance returns a copy of the estimate covariance. A filter on the
+// shared schedule detaches first (the schedule carries its covariance).
+func (f *Filter) Covariance() *mat.Mat {
+	if f.onShared() {
+		f.detachShared()
+	}
+	return f.p.Clone()
+}
 
 // CovarianceInto copies the estimate covariance into dst without
-// allocating. dst must be 12×12.
-func (f *Filter) CovarianceInto(dst *mat.Mat) { mat.CloneInto(dst, f.p) }
+// allocating. dst must be 12×12. A filter on the shared schedule detaches
+// first (cold path).
+func (f *Filter) CovarianceInto(dst *mat.Mat) {
+	if f.onShared() {
+		f.detachShared()
+	}
+	mat.CloneInto(dst, f.p)
+}
 
 // SetState force-sets the estimate (used when recovery hands the filter a
 // reconstructed state).
@@ -243,6 +310,11 @@ func (f *Filter) SetState(s vehicle.State) { f.x = s }
 // dynamics model only (no sensors at all) — the worst-case recovery and
 // reconstruction primitive.
 func (f *Filter) Predict(u vehicle.Input, dt float64) {
+	if f.onShared() {
+		// Pure model prediction only happens inside recovery — off the
+		// shared all-active path by definition.
+		f.detachShared()
+	}
 	f.propagateCovariance(u, dt)
 	f.x = f.step(f.x, u, dt)
 }
@@ -255,7 +327,25 @@ func (f *Filter) Predict(u vehicle.Input, dt float64) {
 //   - accelerometer active: velocity integrates the measured acceleration.
 //   - masked: the model step supplies the respective derivatives.
 func (f *Filter) PredictHybrid(u vehicle.Input, meas sensors.PhysState, active sensors.TypeSet, dt float64) {
-	f.propagateCovariance(u, dt)
+	if f.onShared() {
+		if !f.predPending && f.sched.covers(dt) && active.Len() == sensors.NumTypes {
+			// Nominal path: the covariance propagation is deferred and
+			// consumed (together with the correction) from the shared
+			// schedule in Correct. The dt-keyed scratch is still built on
+			// the first tick so that a later detach sees exactly the
+			// caches a private filter would have (fkin is keyed to the
+			// mission's first dt).
+			if f.ws.fkin == nil {
+				f.refreshDT(dt)
+			}
+			f.predPending = true
+		} else {
+			f.detachShared()
+			f.propagateCovariance(u, dt)
+		}
+	} else {
+		f.propagateCovariance(u, dt)
+	}
 	model := f.step(f.x, u, dt)
 
 	next := f.x
@@ -338,7 +428,47 @@ func MagYaw(meas sensors.PhysState) float64 {
 // Correct fuses the correcting sensors (GPS, barometer, magnetometer) in
 // active; masked sensors contribute nothing — the isolation mechanism of
 // Fig. 4. Inertial sensors do not appear here; they act in PredictHybrid.
+//
+// The update is split into a measurement-independent covariance/gain half
+// (covGain: H, R, S, the innovation gates, K, and the posterior P — all a
+// function of the prior P and the active row set only) and a state half
+// (applyGain: innovation, gating, state update). On the nominal all-active
+// path the first half is identical for every mission sharing a (profile,
+// dt) pair, so a filter attached to a Schedule consumes the precomputed
+// (K, gates) for its current step instead of recomputing them; the split
+// only reorders operations that do not depend on each other, so results
+// stay bit-identical either way.
 func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
+	rows, z := f.selectRows(meas, active)
+	if f.onShared() {
+		if f.predPending && len(rows) == f.sched.fullRows() {
+			st, err := f.sched.step(f.schedIdx)
+			if err != nil {
+				return err
+			}
+			f.predPending = false
+			f.schedIdx++
+			f.applyGain(rows, z, st.k, st.gates)
+			return nil
+		}
+		// Contract breach (masked sensor, or Correct without a pending
+		// predict): leave the shared path and redo this cycle privately.
+		f.detachShared()
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	k, gates, err := f.covGain(rows)
+	if err != nil {
+		return err
+	}
+	f.applyGain(rows, z, k, gates)
+	return nil
+}
+
+// selectRows fills the workspace row set and measurement vector for the
+// active sensors and returns them (aliases of ws.rows/ws.z).
+func (f *Filter) selectRows(meas sensors.PhysState, active sensors.TypeSet) ([]obsChannel, []float64) {
 	ws := &f.ws
 	rows := ws.rows[:0]
 	z := ws.z[:0]
@@ -357,9 +487,16 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 		}
 	}
 	ws.rows, ws.z = rows, z
-	if len(rows) == 0 {
-		return nil
-	}
+	return rows, z
+}
+
+// covGain runs the measurement-independent half of the correction: it
+// builds H and R for the row set, forms S = H·P·Hᵀ + R, derives the
+// innovation gate half-widths, solves for the Kalman gain K = P·Hᵀ·S⁻¹,
+// and advances P ← sym((I − K·H)·P). The returned gain and gates alias
+// the workspace and stay valid until the next covGain call.
+func (f *Filter) covGain(rows []obsChannel) (*mat.Mat, []float64, error) {
+	ws := &f.ws
 	m := len(rows)
 	reshape(ws.h, m, nx)
 	reshape(ws.rmat, m, m)
@@ -368,16 +505,6 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 	for i, ch := range rows {
 		ws.h.Set(i, ch.state, 1)
 		ws.rmat.Set(i, i, ch.noise*ch.noise)
-	}
-	xvec := ws.xvec
-	f.x.VecInto(xvec)
-	innov := ws.innov[:m]
-	for i, ch := range rows {
-		d := z[i] - xvec[ch.state]
-		if ch.state >= 6 && ch.state <= 8 {
-			d = vehicle.WrapAngle(d)
-		}
-		innov[i] = d
 	}
 	reshape(ws.ht, nx, m)
 	mat.TransposeInto(ws.ht, ws.h)
@@ -390,17 +517,16 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 	mat.MulInto(ws.hph, ws.h, ws.ph)
 	reshape(ws.s, m, m)
 	mat.AddInto(ws.s, ws.hph, ws.rmat)
-	// Innovation gating: clamp each innovation to ±gateSigma·√S_ii, the
-	// standard EKF defense against implausible jumps. A deception bias
-	// larger than the gate is admitted gradually (a few gates per
-	// correction cycle) rather than instantaneously — which bounds how far
-	// a single corrupted correction can drag the estimate while still
-	// letting persistent spoofing take effect, as observed on real
-	// autopilot stacks.
+	// Innovation gates: ±gateSigma·√S_ii, the standard EKF defense against
+	// implausible jumps. A deception bias larger than the gate is admitted
+	// gradually (a few gates per correction cycle) rather than
+	// instantaneously — which bounds how far a single corrupted correction
+	// can drag the estimate while still letting persistent spoofing take
+	// effect, as observed on real autopilot stacks.
 	const gateSigma = 5.0
-	for i := range innov {
-		gate := gateSigma * math.Sqrt(ws.s.At(i, i))
-		innov[i] = vehicle.Clamp(innov[i], -gate, gate)
+	gates := ws.gates[:m]
+	for i := range gates {
+		gates[i] = gateSigma * math.Sqrt(ws.s.At(i, i))
 	}
 	// K = P Hᵀ S⁻¹  ⇒  solve Sᵀ Kᵀ = (P Hᵀ)ᵀ.
 	reshape(ws.st, m, m)
@@ -409,26 +535,46 @@ func (f *Filter) Correct(meas sensors.PhysState, active sensors.TypeSet) error {
 	mat.TransposeInto(ws.pht, ws.ph)
 	reshape(ws.kt, m, nx)
 	if err := ws.lu.Refactor(ws.st); err != nil {
-		return fmt.Errorf("ekf correct: %w", err)
+		return nil, nil, fmt.Errorf("ekf correct: %w", err)
 	}
 	if err := ws.lu.SolveInto(ws.kt, ws.pht); err != nil {
-		return fmt.Errorf("ekf correct: %w", err)
+		return nil, nil, fmt.Errorf("ekf correct: %w", err)
 	}
 	reshape(ws.k, nx, m)
 	mat.TransposeInto(ws.k, ws.kt)
-	mat.MulVecInto(ws.dx, ws.k, innov)
+	// P ← sym((I − K·H)·P), in the same evaluation order as the allocating
+	// Identity(nx).Sub(k.Mul(h)).Mul(p).Symmetrize() chain it replaced.
+	// The update reads only K, H, and the prior P, none of which the state
+	// half touches, so running it before the state update is bit-exact.
+	mat.MulInto(ws.nxA, ws.k, ws.h)
+	mat.SubInto(ws.nxA, ws.ident, ws.nxA)
+	mat.MulInto(ws.nxB, ws.nxA, f.p)
+	mat.SymmetrizeInto(f.p, ws.nxB)
+	return ws.k, gates, nil
+}
+
+// applyGain runs the state half of the correction: the innovation against
+// the current estimate, clamped to the precomputed gates, scaled through
+// the gain. k must be nx×m and gates length m for m = len(rows).
+func (f *Filter) applyGain(rows []obsChannel, z []float64, k *mat.Mat, gates []float64) {
+	ws := &f.ws
+	m := len(rows)
+	xvec := ws.xvec
+	f.x.VecInto(xvec)
+	innov := ws.innov[:m]
+	for i, ch := range rows {
+		d := z[i] - xvec[ch.state]
+		if ch.state >= 6 && ch.state <= 8 {
+			d = vehicle.WrapAngle(d)
+		}
+		innov[i] = vehicle.Clamp(d, -gates[i], gates[i])
+	}
+	mat.MulVecInto(ws.dx, k, innov)
 	xvec.AddInPlace(ws.dx)
 	f.x = vehicle.StateFromVec(xvec)
 	f.x.Roll = vehicle.WrapAngle(f.x.Roll)
 	f.x.Pitch = vehicle.WrapAngle(f.x.Pitch)
 	f.x.Yaw = vehicle.WrapAngle(f.x.Yaw)
-	// P ← sym((I − K·H)·P), in the same evaluation order as the allocating
-	// Identity(nx).Sub(k.Mul(h)).Mul(p).Symmetrize() chain it replaced.
-	mat.MulInto(ws.nxA, ws.k, ws.h)
-	mat.SubInto(ws.nxA, ws.ident, ws.nxA)
-	mat.MulInto(ws.nxB, ws.nxA, f.p)
-	mat.SymmetrizeInto(f.p, ws.nxB)
-	return nil
 }
 
 // measChannel reads the PS channel corresponding to an observation row.

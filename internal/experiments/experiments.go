@@ -24,6 +24,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/diagnosis"
+	"repro/internal/fleet"
 	"repro/internal/mission"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -61,6 +62,15 @@ type Options struct {
 	// to whichever experiment happened to trigger them would make report
 	// content depend on experiment selection.
 	Collector *telemetry.Collector
+	// Fleet routes every sweep through the batched fleet executor
+	// (internal/fleet) instead of the per-goroutine runner: missions are
+	// partitioned into profile-homogeneous batches stepped in lockstep
+	// over shared per-(profile, dt) caches. Output is byte-identical to
+	// the runner's; only throughput changes.
+	Fleet bool
+	// BatchSize caps the fleet executor's lockstep width; <= 0 selects
+	// the fleet default. Ignored unless Fleet is set.
+	BatchSize int
 }
 
 // withDefaults fills unset options.
@@ -82,9 +92,20 @@ func (o Options) runnerOptions() runner.Options {
 	return runner.Options{Workers: o.Workers, Progress: o.Progress, Telemetry: o.Collector}
 }
 
-// sweep executes pre-drawn jobs on the parallel runner, returning results
-// in submission order.
+// fleetOptions extracts the execution knobs for the fleet executor.
+func (o Options) fleetOptions() fleet.Options {
+	return fleet.Options{Workers: o.Workers, BatchSize: o.BatchSize, Progress: o.Progress, Telemetry: o.Collector}
+}
+
+// sweep executes pre-drawn jobs on the selected execution engine — the
+// per-goroutine runner, or the batched fleet executor when opt.Fleet is
+// set — returning results in submission order. The two engines are
+// byte-identical; every experiment funnels through here, so the -fleet
+// flag covers the whole evaluation.
 func sweep(ctx context.Context, jobs []runner.Job, opt Options) ([]sim.Result, error) {
+	if opt.Fleet {
+		return fleet.Run(ctx, jobs, opt.fleetOptions())
+	}
 	return runner.Run(ctx, jobs, opt.runnerOptions())
 }
 

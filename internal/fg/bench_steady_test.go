@@ -1,0 +1,40 @@
+package fg_test
+
+// Steady-state benchmark for the cached-graph inference path. This file
+// is NOT in scripts/bench_compare.sh's portable set: it uses the
+// evidence-cell API (ThresholdFactorAt, MarginalsInto) that historical
+// comparison trees predate, so it lives apart from bench_test.go, which
+// must compile in both trees.
+
+import (
+	"testing"
+
+	"repro/internal/fg"
+)
+
+// BenchmarkFGMarginalsSteady is the cached-graph steady state the
+// diagnosis engine now runs: graphs built once with evidence-cell
+// factors, each step rewriting the cells, invalidating, and reading the
+// marginals into a reused buffer. Must report 0 allocs/op.
+func BenchmarkFGMarginalsSteady(b *testing.B) {
+	const n = 6
+	ePrev := make([]float64, n)
+	eCur := make([]float64, n)
+	g := fg.New()
+	for i := 0; i < n; i++ {
+		v := g.AddVariable("s")
+		g.AddFactor("f", fg.ThresholdFactorAt(&ePrev[i], &eCur[i], 1), v)
+	}
+	buf := make([]float64, n)
+	g.MarginalsInto(buf) // warm the enumeration scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			ePrev[j] = float64((i + j) % 3)
+			eCur[j] = ePrev[j]
+		}
+		g.Invalidate()
+		g.MarginalsInto(buf)
+	}
+}

@@ -14,6 +14,9 @@ const (
 	telemetryPath = modulePath + "/internal/telemetry"
 	corePath      = modulePath + "/internal/core"
 	runnerPath    = modulePath + "/internal/runner"
+	fleetPath     = modulePath + "/internal/fleet"
+	simPath       = modulePath + "/internal/sim"
+	ekfPath       = modulePath + "/internal/ekf"
 	fgPath        = modulePath + "/internal/fg"
 	tracePath     = modulePath + "/internal/trace"
 	sourcePath    = modulePath + "/internal/source"
@@ -52,11 +55,15 @@ func DefaultAnalyzers() []*Analyzer {
 		Hotalloc(defaultHotalloc()),
 		Determinism(DeterminismConfig{
 			Restricted: []string{
-				modulePath + "/internal/sim",
+				simPath,
 				modulePath + "/internal/experiments",
 				modulePath + "/internal/mission",
 				corePath,
 				runnerPath,
+				// The fleet executor reorganizes mission execution into
+				// lockstep batches; its partition/step/reduce path is part
+				// of the same byte-identity surface as the runner's.
+				fleetPath,
 				telemetryPath,
 				// The trace codec and the replay/bus sources are part of
 				// the byte-identity surface: a recorded mission must decode
@@ -75,6 +82,13 @@ func DefaultAnalyzers() []*Analyzer {
 			Roots: []FuncRef{
 				corePath + ":Pipeline.Tick",
 				runnerPath + ":reduceTelemetry",
+				// The fleet's lockstep loop covers the whole in-mission
+				// step path (sim.Mission.Step and everything it reaches),
+				// which the runner only exercised through RunContext: no
+				// select (cancellation is polled via ctx.Err), no clock,
+				// no global rand anywhere a batch round can reach.
+				fleetPath + ":stepLanes",
+				fleetPath + ":reduceTelemetry",
 			},
 			ClockPath: clockPath,
 			Sinks:     defaultSinks(),
@@ -114,6 +128,9 @@ func defaultHotalloc() HotallocConfig {
 			fgPath + ":Graph.Marginal",
 			fgPath + ":Graph.MarginalsInto",
 			fgPath + ":Graph.MLE",
+			// The fleet's lockstep round loop: one batch round must not
+			// allocate, or per-tick garbage scales with the lane count.
+			fleetPath + ":stepLanes",
 		},
 		// Episodic or one-time paths sanctioned to allocate. Each runs per
 		// alert episode or per configuration change, never per tick, and
@@ -126,10 +143,30 @@ func defaultHotalloc() HotallocConfig {
 			corePath + ":Pipeline.revalidateSensors",
 			corePath + ":Pipeline.exitRecovery",
 			corePath + ":Pipeline.triggerDetail",
-			modulePath + "/internal/ekf:Filter.refreshDT",
+			ekfPath + ":Filter.refreshDT",
 			modulePath + "/internal/mat:LU.grow",
 			fgPath + ":Graph.growScratch",
 			modulePath + "/internal/recovery:LQR.refreshRoverGain",
+			// Shared-schedule cold paths: extending the covariance
+			// schedule clones each new step once per (profile, dt, cycle)
+			// process-wide, and falling off the shared path reconstructs
+			// covariance once per mission at most.
+			ekfPath + ":Schedule.extendTo",
+			ekfPath + ":Schedule.seedPost",
+			ekfPath + ":Filter.detachShared",
+			// Per-mission epilogue, episodic telemetry captures, and
+			// terminal error paths of the fleet's lockstep loop: each runs
+			// once per mission or only inside an attack/recovery episode,
+			// never on the nominal per-round path.
+			simPath + ":Mission.Finish",
+			simPath + ":Mission.noteDiagnosis",
+			simPath + ":srcErr",
+			sourcePath + ":exhaustedErr",
+			sourcePath + ":desyncErr",
+			fleetPath + ":progress.bump",
+			// Failure injection trips at most once per mission: the
+			// armed flag flips off after the first SetDropout.
+			sensorsPath + ":Suite.SetDropout",
 		},
 	}
 }

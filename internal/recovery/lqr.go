@@ -80,6 +80,42 @@ func NewLQR(p vehicle.Profile, dt float64) (*LQR, error) {
 	return l, nil
 }
 
+// QuadGain synthesizes the hover LQR gain for a quad profile at control
+// period dt — the per-profile DARE solve that dominates per-mission
+// setup cost. The returned matrix is read-only in Update, so one gain
+// can be shared by every mission with the same (profile, dt). Returns
+// nil for rovers: their gain depends on the operating point and is
+// synthesized lazily per recovery episode.
+func QuadGain(p vehicle.Profile, dt float64) (*mat.Mat, error) {
+	if !p.IsQuad() {
+		return nil, nil
+	}
+	k, err := quadGain(p.Quad, dt)
+	if err != nil {
+		return nil, fmt.Errorf("recovery lqr (%s): %w", p.Name, err)
+	}
+	return k, nil
+}
+
+// NewLQRShared builds the controller around a precomputed quad gain
+// (from QuadGain for the same profile and dt), skipping the per-mission
+// DARE solve. The gain is referenced, not copied; callers must treat it
+// as immutable. A nil gain for a quad profile falls back to solving.
+func NewLQRShared(p vehicle.Profile, dt float64, kQuad *mat.Mat) (*LQR, error) {
+	if p.IsQuad() && kQuad == nil {
+		return NewLQR(p, dt)
+	}
+	return &LQR{
+		profile:  p,
+		dt:       dt,
+		kQuad:    kQuad,
+		errQuad:  mat.NewVec(12),
+		duQuad:   mat.NewVec(4),
+		errRover: mat.NewVec(4),
+		duRover:  mat.NewVec(2),
+	}, nil
+}
+
 // Name implements Controller.
 func (l *LQR) Name() string { return "LQR" }
 

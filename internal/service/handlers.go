@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -167,6 +168,7 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
 	}
 	results := make([]sim.Result, n)
 	cfgs := b.cfgs
+	attachShared(cfgs)
 	ticket, err := s.pool.Submit(r.Context(), n, func(ctx context.Context, i int) error {
 		res, err := sim.RunContext(ctx, cfgs[i])
 		if err != nil {
@@ -236,6 +238,24 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
 	}
 	out.reportLine(rep)
 	s.count(func(c *RunCounters) { c.Completed++ })
+}
+
+// attachShared points every config at the process-wide per-(profile, dt)
+// shared caches from the fleet registry, so a sweep's missions reference
+// one DARE solution, one EKF covariance schedule, and one compiled
+// diagnosis graph spec instead of rebuilding them per mission. Results
+// are bit-identical with or without the caches; a profile whose caches
+// cannot be built simply runs unshared, surfacing any real defect as the
+// usual per-mission construction error.
+func attachShared(cfgs []sim.Config) {
+	for i := range cfgs {
+		if cfgs[i].Shared != nil {
+			continue
+		}
+		if sh, err := fleet.SharedFor(cfgs[i].Profile, cfgs[i].DT); err == nil {
+			cfgs[i].Shared = sh
+		}
+	}
 }
 
 // decode parses a JSON request body strictly (unknown fields are

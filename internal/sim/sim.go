@@ -72,6 +72,13 @@ type Config struct {
 	// stage-attributed telemetry event. Off by default so run reports stay
 	// byte-stable across pipeline-internal refactors.
 	TraceTransitions bool
+
+	// Shared optionally attaches the per-(profile, DT) read-only caches
+	// the fleet executor builds once per batch (recovery LQR gain, EKF
+	// covariance schedule, diagnosis graph specs). Results are
+	// bit-identical with or without it; Validate rejects a mismatched
+	// profile or control period.
+	Shared *core.Shared
 }
 
 // TracePoint is one decimated sample of the mission for figures.
@@ -163,8 +170,64 @@ func Run(cfg Config) (Result, error) {
 // and abandons the mission with ctx.Err() once the context is done. The
 // parallel runner (internal/runner) uses this to stop a sweep mid-flight.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	m, err := NewMission(cfg)
+	if err != nil {
 		return Result{}, err
+	}
+	done := ctx.Done()
+	for {
+		if m.tick%cancelCheckTicks == 0 {
+			select {
+			case <-done:
+				return m.res, ctx.Err()
+			default:
+			}
+		}
+		cont, err := m.Step()
+		if err != nil {
+			return m.res, err
+		}
+		if !cont {
+			break
+		}
+	}
+	return m.Finish(), nil
+}
+
+// Mission is one resumable mission: NewMission builds the per-mission
+// state, Step advances exactly one control period, and Finish computes
+// the outcome once Step reports the mission over. RunContext is the
+// single-mission driver; the fleet executor (internal/fleet) interleaves
+// Steps of many same-profile missions in lockstep. Both paths run the
+// identical per-tick code in the identical order, which is what makes
+// fleet output byte-identical to the per-goroutine runner's.
+type Mission struct {
+	cfg     Config
+	fw      *core.Framework
+	tel     *telemetry.Recorder
+	gusts   *wind.Model
+	src     sensors.Source
+	tracker *mission.Tracker
+
+	truth    vehicle.State
+	lastU    vehicle.Input
+	tiltTime float64
+	t        float64
+	tick     int
+
+	attackOnsetTick int
+	latencyRecorded bool
+	over            bool
+	res             Result
+}
+
+// NewMission validates and defaults the configuration and assembles the
+// mission: the defense pipeline, the wind field, the sensor source, and
+// the plan tracker, with the master rng's draw order (suite seed, then
+// wind seed) preserved exactly as documented on Config.Seed.
+func NewMission(cfg Config) (*Mission, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.DT <= 0 {
 		cfg.DT = 0.01
@@ -187,9 +250,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		Diagnoser: cfg.Diagnoser,
 		Detector:  cfg.Detector,
 		Telemetry: tel,
+		Shared:    cfg.Shared,
 	}, cfg.Strategy)
 	if err != nil {
-		return Result{}, fmt.Errorf("sim: %w", err)
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 
 	// The master rng's draw order is part of the byte-identity contract:
@@ -204,118 +268,150 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if src == nil {
 		src = newSimSource(cfg.Profile, suiteSeed, cfg.Attacks, cfg.DropoutAt, cfg.DropoutSensors)
 	}
-	tracker := mission.NewTracker(cfg.Plan, 2.0)
+	m := &Mission{
+		cfg:             cfg,
+		fw:              fw,
+		tel:             tel,
+		gusts:           gusts,
+		src:             src,
+		tracker:         mission.NewTracker(cfg.Plan, 2.0),
+		attackOnsetTick: -1,
+	}
+	fw.Init(m.truth)
+	return m, nil
+}
 
-	var truth vehicle.State
-	fw.Init(truth)
-
-	var res Result
-	var lastU vehicle.Input
-	tiltTime := 0.0
+// Step advances the mission one control period. It returns (false, nil)
+// once the mission is over — completed, crashed, or time budget
+// exhausted — after which Finish yields the Result. A sensor-source
+// error ends the mission with (false, err); the partial Result is
+// available on the mission value but Finish must not be used.
+func (m *Mission) Step() (bool, error) {
+	if m.over || !(m.t < m.cfg.MaxSec) {
+		m.over = true
+		return false, nil
+	}
+	if m.tracker.Done() {
+		m.res.Completed = true
+		m.over = true
+		return false, nil
+	}
+	cfg := &m.cfg
+	res := &m.res
 	dt := cfg.DT
-	tick := 0
+	t := m.t
+	w := m.gusts.Step(dt)
 
-	done := ctx.Done()
-	attackOnsetTick := -1
-	latencyRecorded := false
-	for t := 0.0; t < cfg.MaxSec; t += dt {
-		if tick%cancelCheckTicks == 0 {
-			select {
-			case <-done:
-				return res, ctx.Err()
-			default:
-			}
-		}
-		if tracker.Done() {
-			res.Completed = true
-			break
-		}
-		w := gusts.Step(dt)
+	// True acceleration for the accelerometer model (synthesizing
+	// sources consume it; replay sources ignore it).
+	accel := trueAccel(cfg.Profile, m.truth, m.lastU, w)
+	reading, err := m.src.Sample(sensors.Tick{T: t, DT: dt, Truth: m.truth, TruthAccel: accel})
+	if err != nil {
+		m.over = true
+		return false, srcErr(t, err)
+	}
+	meas := reading.State
+	attackActive := reading.AttackActive
 
-		// True acceleration for the accelerometer model (synthesizing
-		// sources consume it; replay sources ignore it).
-		accel := trueAccel(cfg.Profile, truth, lastU, w)
-		reading, err := src.Sample(sensors.Tick{T: t, DT: dt, Truth: truth, TruthAccel: accel})
-		if err != nil {
-			return res, fmt.Errorf("sim: sensor source at t=%.2fs: %w", t, err)
-		}
-		meas := reading.State
-		attackActive := reading.AttackActive
+	u := m.fw.Tick(t, meas, m.tracker.Target())
+	m.lastU = u
+	// Detection latency: ticks from the attack first reaching the
+	// sensors to the detector alert latching.
+	if attackActive && m.attackOnsetTick < 0 {
+		m.attackOnsetTick = m.tick
+	}
+	if m.attackOnsetTick >= 0 && !m.latencyRecorded && m.fw.AlertActive() {
+		m.tel.SetDetectionLatency(m.tick - m.attackOnsetTick)
+		m.latencyRecorded = true
+	}
+	if cfg.CollectErrors && m.tick%5 == 0 {
+		res.ErrorSamples = append(res.ErrorSamples, m.fw.LastError())
+	}
+	// Advance the mission plan on the post-tick believed state, i.e.
+	// after detection/diagnosis/reconstruction have had the chance to
+	// scrub an attack-induced jump out of the estimate this tick.
+	believed := m.fw.Believed()
+	m.tracker.Advance(believed.X, believed.Y, believed.Z)
 
-		u := fw.Tick(t, meas, tracker.Target())
-		lastU = u
-		// Detection latency: ticks from the attack first reaching the
-		// sensors to the detector alert latching.
-		if attackActive && attackOnsetTick < 0 {
-			attackOnsetTick = tick
-		}
-		if attackOnsetTick >= 0 && !latencyRecorded && fw.AlertActive() {
-			tel.SetDetectionLatency(tick - attackOnsetTick)
-			latencyRecorded = true
-		}
-		if cfg.CollectErrors && tick%5 == 0 {
-			res.ErrorSamples = append(res.ErrorSamples, fw.LastError())
-		}
-		// Advance the mission plan on the post-tick believed state, i.e.
-		// after detection/diagnosis/reconstruction have had the chance to
-		// scrub an attack-induced jump out of the estimate this tick.
-		believed := fw.Believed()
-		tracker.Advance(believed.X, believed.Y, believed.Z)
+	// Physics.
+	if cfg.Profile.IsQuad() {
+		m.truth = cfg.Profile.Quad.Step(m.truth, u, w, dt)
+	} else {
+		m.truth = cfg.Profile.Rover.Step(m.truth, u, w, dt)
+	}
 
-		// Physics.
-		if cfg.Profile.IsQuad() {
-			truth = cfg.Profile.Quad.Step(truth, u, w, dt)
-		} else {
-			truth = cfg.Profile.Rover.Step(truth, u, w, dt)
-		}
+	// Telemetry.
+	res.EnergyProxy += math.Abs(u.Thrust) * dt
+	m.noteDiagnosis(attackActive)
+	if mb := m.fw.MemoryBytes(); mb > res.MemoryBytes {
+		res.MemoryBytes = mb
+	}
+	if m.tick%10 == 0 {
+		res.AttitudeSeries = append(res.AttitudeSeries, [3]float64{m.truth.Roll, m.truth.Pitch, m.truth.Yaw})
+	}
+	if cfg.TraceEvery > 0 && m.tick%cfg.TraceEvery == 0 {
+		res.Trace = append(res.Trace, TracePoint{
+			T: t, Truth: m.truth, Believed: m.fw.Believed(),
+			Recovering: m.fw.Recovering(), AlertActive: m.fw.AlertActive(),
+			AttackActive: attackActive,
+		})
+	}
+	m.tick++
+	res.Duration = t
 
-		// Telemetry.
-		res.EnergyProxy += math.Abs(u.Thrust) * dt
-		if attackActive && fw.DiagnosisRan() {
-			res.DiagnosedDuringAttack = fw.Compromised()
-			res.DiagnosisRanDuringAttack = true
-		}
-		if fw.Recovering() {
-			if c := fw.Compromised(); c.Len() > 0 {
-				res.LastRecoveryDiagnosis = c
-			}
-		}
-		if mb := fw.MemoryBytes(); mb > res.MemoryBytes {
-			res.MemoryBytes = mb
-		}
-		if tick%10 == 0 {
-			res.AttitudeSeries = append(res.AttitudeSeries, [3]float64{truth.Roll, truth.Pitch, truth.Yaw})
-		}
-		if cfg.TraceEvery > 0 && tick%cfg.TraceEvery == 0 {
-			res.Trace = append(res.Trace, TracePoint{
-				T: t, Truth: truth, Believed: fw.Believed(),
-				Recovering: fw.Recovering(), AlertActive: fw.AlertActive(),
-				AttackActive: attackActive,
-			})
-		}
-		tick++
-		res.Duration = t
+	// Crash detection (§5.2: physically damaged).
+	if crashed, why := crashCheck(cfg.Profile, m.truth, m.tracker.Phase(), &m.tiltTime, dt); crashed {
+		res.Crashed = true
+		res.CrashTime = t
+		res.CrashReason = why
+		m.over = true
+		m.t += dt
+		return false, nil
+	}
+	m.t += dt
+	return true, nil
+}
 
-		// Crash detection (§5.2: physically damaged).
-		if crashed, why := crashCheck(cfg.Profile, truth, tracker.Phase(), &tiltTime, dt); crashed {
-			res.Crashed = true
-			res.CrashTime = t
-			res.CrashReason = why
-			break
+// noteDiagnosis captures the pipeline's diagnosis verdict into the
+// result while an attack or a recovery episode is in progress. The
+// clones it takes happen only on attacked or recovering ticks, so it is
+// a declared hotalloc cold cut point of the fleet's lockstep loop.
+func (m *Mission) noteDiagnosis(attackActive bool) {
+	if attackActive && m.fw.DiagnosisRan() {
+		m.res.DiagnosedDuringAttack = m.fw.Compromised()
+		m.res.DiagnosisRanDuringAttack = true
+	}
+	if m.fw.Recovering() {
+		if c := m.fw.Compromised(); c.Len() > 0 {
+			m.res.LastRecoveryDiagnosis = c
 		}
 	}
-	if tracker.Done() {
+}
+
+// srcErr wraps a sensor-source failure with its mission time. Kept out
+// of Step so the hot loop stays free of the fmt boxing on the (terminal)
+// error path; it is a declared hotalloc cold cut point.
+func srcErr(t float64, err error) error {
+	return fmt.Errorf("sim: sensor source at t=%.2fs: %w", t, err)
+}
+
+// Finish computes the mission outcome: crash/stall classification, final
+// deviation, overhead accounting, and the telemetry record. Call it once,
+// after Step has returned false without an error.
+func (m *Mission) Finish() Result {
+	res := &m.res
+	if m.tracker.Done() {
 		res.Completed = true
 	}
 	res.Stalled = !res.Completed && !res.Crashed
 
-	dest := cfg.Plan.Destination()
-	res.FinalDistance = truth.HorizontalDistanceTo(dest.X, dest.Y)
+	dest := m.cfg.Plan.Destination()
+	res.FinalDistance = m.truth.HorizontalDistanceTo(dest.X, dest.Y)
 	res.Success = res.Completed && !res.Crashed && res.FinalDistance < SuccessRadius
-	res.RecoveryActivations = fw.RecoveryActivations()
-	res.DefenseNS, res.TotalNS, res.Ticks = fw.Overhead()
+	res.RecoveryActivations = m.fw.RecoveryActivations()
+	res.DefenseNS, res.TotalNS, res.Ticks = m.fw.Overhead()
 
-	tel.SetStages(fw.Stages())
+	m.tel.SetStages(m.fw.Stages())
 	detail := "completed"
 	switch {
 	case res.Crashed:
@@ -323,15 +419,15 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	case res.Stalled:
 		detail = "stalled"
 	}
-	tel.FinishMission(res.Ticks, detail, telemetry.Outcome{
+	m.tel.FinishMission(res.Ticks, detail, telemetry.Outcome{
 		Success:               res.Success,
 		Crashed:               res.Crashed,
 		Stalled:               res.Stalled,
-		AttackMounted:         src.AttackMounted(),
+		AttackMounted:         m.src.AttackMounted(),
 		DiagnosedDuringAttack: res.DiagnosisRanDuringAttack && res.DiagnosedDuringAttack.Len() > 0,
 	})
-	res.Telemetry = tel.Mission()
-	return res, nil
+	res.Telemetry = m.tel.Mission()
+	return m.res
 }
 
 // trueAccel returns the translational acceleration of the vehicle at its

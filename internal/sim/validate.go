@@ -1,6 +1,10 @@
 package sim
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/floats"
+)
 
 // ConfigError reports one invalid Config field. Errors name the field so
 // callers assembling configs programmatically (the experiment registry,
@@ -41,6 +45,15 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.DropoutAt < 0 || math.IsNaN(cfg.DropoutAt) {
 		return &ConfigError{Field: "DropoutAt", Reason: "dropout time must be non-negative (zero disables failure injection)"}
+	}
+	if cfg.Shared != nil {
+		dt := cfg.DT
+		if floats.Zero(dt) {
+			dt = 0.01 // the documented DT default
+		}
+		if !cfg.Shared.Matches(cfg.Profile.Name, dt) {
+			return &ConfigError{Field: "Shared", Reason: "caches built for a different (profile, dt) pair than this mission"}
+		}
 	}
 	if cfg.Source != nil {
 		if cfg.Attacks != nil {

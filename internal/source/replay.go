@@ -47,12 +47,11 @@ func NewReplay(tr *trace.Trace) *Replay {
 // difference means the trace does not belong to this mission shape.
 func (r *Replay) Sample(tick sensors.Tick) (sensors.Reading, error) {
 	if r.next >= len(r.tr.Frames) {
-		return sensors.Reading{}, fmt.Errorf("%w after %d frames (t=%v)", ErrExhausted, r.next, tick.T)
+		return sensors.Reading{}, exhaustedErr(r.next, tick.T)
 	}
 	f := &r.tr.Frames[r.next]
 	if math.Float64bits(f.T) != math.Float64bits(tick.T) {
-		return sensors.Reading{}, fmt.Errorf("%w: frame %d recorded t=%v, mission at t=%v",
-			ErrDesync, r.next, f.T, tick.T)
+		return sensors.Reading{}, desyncErr(r.next, f.T, tick.T)
 	}
 	r.next++
 	return sensors.Reading{
@@ -60,6 +59,17 @@ func (r *Replay) Sample(tick sensors.Tick) (sensors.Reading, error) {
 		AttackActive:  f.AttackActive(),
 		AttackTargets: f.Targets,
 	}, nil
+}
+
+// exhaustedErr and desyncErr build Sample's terminal errors. Kept out of
+// Sample so the replay hot path stays free of the fmt boxing on paths
+// that end the mission anyway; both are hotalloc cold cut points.
+func exhaustedErr(next int, t float64) error {
+	return fmt.Errorf("%w after %d frames (t=%v)", ErrExhausted, next, t)
+}
+
+func desyncErr(next int, recorded, t float64) error {
+	return fmt.Errorf("%w: frame %d recorded t=%v, mission at t=%v", ErrDesync, next, recorded, t)
 }
 
 // AttackMounted reports the trace header's attack annotation.

@@ -1,38 +1,79 @@
 #!/usr/bin/env bash
-# bench_compare.sh — before/after evidence for the zero-allocation hot path.
+# bench_compare.sh — before/after evidence for the hot path and the fleet
+# executor.
 #
-# Checks out the last pre-optimization commit into a throwaway git worktree,
-# copies the portable benchmark files in (they use only public API that
-# exists in both trees; the allocation-budget tests do not and are NOT
-# copied), runs the same benchmark set in both trees with -benchmem, and
-# byte-compares a reduced `cmd/experiments` run between the trees — the
-# optimization must not change a single output byte. Results land in
-# BENCH_PR5.json: ns/op, B/op, allocs/op per benchmark for both trees, the
-# speedup ratio, and the outputs_identical verdict.
+# Checks out the comparison commit into a throwaway git worktree, copies
+# the portable benchmark files in (they use only public API that exists in
+# both trees; the allocation-budget tests do not and are NOT copied), runs
+# the same benchmark set in both trees with -benchmem, and byte-compares a
+# reduced `cmd/experiments` run between the trees — an optimization must
+# not change a single output byte.
+#
+# On top of the cross-tree comparison, the script races the working tree's
+# two execution engines against each other — the per-goroutine runner vs
+# the batched fleet executor, reported as missions/sec/core — byte-compares
+# their experiment output (folded into outputs_identical), and fails unless
+# the fleet is at least MIN_FLEET_SPEEDUP faster. Results land in
+# BENCH_PR9.json.
 #
 # Env knobs:
-#   BEFORE_REF  git ref of the comparison tree (default: the last commit
-#               before the staged-pipeline refactor, i.e. the PR-4
-#               zero-allocation tree — the refactor must hold its speed)
-#   OUT         output JSON path (default: BENCH_PR5.json)
-#   BENCHTIME   -benchtime passed to go test (default: 1s)
+#   BEFORE_REF         git ref of the comparison tree (default: the last
+#                      pre-fleet commit, i.e. the PR-8 mission-service tree)
+#   OUT                output JSON path (default: BENCH_PR9.json)
+#   BENCHTIME          -benchtime passed to go test (default: 1s)
+#   FLEET_BENCHTIME    -benchtime for the engine race (default: 2s — each
+#                      iteration is a 16-mission suite, so the race needs
+#                      a longer window for a stable ratio)
+#   MIN_FLEET_SPEEDUP  minimum fleet/runner throughput ratio (default: 1.5)
+#   ALLOW_STALE_BEFORE set to 1 to permit a BEFORE_REF older than the
+#                      newest committed bench baseline (only for
+#                      regenerating a historical BENCH_*.json on purpose)
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-BEFORE_REF="${BEFORE_REF:-da6c9a4}"
-OUT="${OUT:-BENCH_PR5.json}"
+BEFORE_REF="${BEFORE_REF:-b224617}"
+OUT="${OUT:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-1s}"
+FLEET_BENCHTIME="${FLEET_BENCHTIME:-2s}"
+MIN_FLEET_SPEEDUP="${MIN_FLEET_SPEEDUP:-1.5}"
 BENCH='^(BenchmarkMissionShort|BenchmarkTick|BenchmarkEKFPredict|BenchmarkEKFPredictHybrid|BenchmarkEKFCorrect|BenchmarkFGMarginals|BenchmarkFGMarginalAllVars)$'
+FLEETBENCH='^(BenchmarkRunner|BenchmarkFleet)$'
 PKGS=(./. ./internal/core/ ./internal/ekf/ ./internal/fg/)
 PORTABLE=(bench_hotpath_test.go internal/ekf/bench_test.go internal/fg/bench_test.go internal/core/bench_test.go)
 
+# Staleness guard: comparing against a ref older than the newest committed
+# bench baseline re-litigates wins the repo has already banked — the
+# "before" numbers would predate recorded optimizations and overstate the
+# speedup. Fail loudly unless the regeneration is explicitly intentional.
+newest_bench="$(git ls-files 'BENCH_*.json' | while read -r f; do
+    printf '%s %s\n' "$(git log -1 --format=%ct -- "$f")" "$f"
+done | sort -rn | head -1 | cut -d' ' -f2-)"
+if [ -n "$newest_bench" ]; then
+    bench_commit="$(git log -1 --format=%H -- "$newest_bench")"
+    if [ "$(git rev-parse "$BEFORE_REF^{commit}")" != "$bench_commit" ] &&
+        git merge-base --is-ancestor "$BEFORE_REF" "$bench_commit"; then
+        if [ "${ALLOW_STALE_BEFORE:-0}" != 1 ]; then
+            echo "FAIL: BEFORE_REF=$BEFORE_REF predates $newest_bench (committed in ${bench_commit:0:7})." >&2
+            echo "      Its numbers would not reflect the newest recorded baseline." >&2
+            echo "      Pick a ref at or after ${bench_commit:0:7}, or set ALLOW_STALE_BEFORE=1" >&2
+            echo "      to regenerate a historical baseline on purpose." >&2
+            exit 1
+        fi
+        echo "WARN: BEFORE_REF=$BEFORE_REF predates $newest_bench (ALLOW_STALE_BEFORE=1)" >&2
+    fi
+fi
+
 wt="$(mktemp -d /tmp/bench_before.XXXXXX)"
 after_txt="$(mktemp /tmp/bench_after.XXXXXX)"
+fleet_txt="$(mktemp /tmp/bench_fleet.XXXXXX)"
 exp_after_md="$(mktemp /tmp/exp_after_md.XXXXXX)"
 exp_after_js="$(mktemp /tmp/exp_after_js.XXXXXX)"
+exp_fleet_md="$(mktemp /tmp/exp_fleet_md.XXXXXX)"
+exp_fleet_js="$(mktemp /tmp/exp_fleet_js.XXXXXX)"
 cleanup() {
     git worktree remove --force "$wt" >/dev/null 2>&1 || true
-    rm -rf "$wt" "$after_txt" "$exp_after_md" "$exp_after_js"
+    rm -rf "$wt" "$after_txt" "$fleet_txt" "$exp_after_md" "$exp_after_js" \
+        "$exp_fleet_md" "$exp_fleet_js"
 }
 trap cleanup EXIT
 rmdir "$wt"
@@ -55,19 +96,51 @@ if [ ! -s "$before_txt" ] || [ ! -s "$after_txt" ]; then
     exit 1
 fi
 
-echo "== byte-identity: reduced experiment run in both trees =="
+# The fleet package does not exist in pre-PR9 trees, so the engine race
+# runs entirely in the working tree: BenchmarkRunner and BenchmarkFleet
+# execute the same reduced suite, making runner_ns/fleet_ns a same-tree,
+# same-workload ratio.
+echo "== engine race: runner vs fleet (working tree) =="
+go test -run '^$' -bench "$FLEETBENCH" -benchmem -benchtime "$FLEET_BENCHTIME" ./internal/fleet/ |
+    grep '^Benchmark' | tee "$fleet_txt"
+metric() { # metric <bench-name> <unit>
+    # $1 is the bench name, bare on GOMAXPROCS=1 machines and with a
+    # -N suffix otherwise.
+    awk -v name="$1" -v unit="$2" '$1 == name || $1 ~ "^"name"-" {
+        for (i = 2; i < NF; i++) if ($(i + 1) == unit) { print $i; exit }
+    }' "$fleet_txt"
+}
+runner_ns="$(metric BenchmarkRunner ns/op)"
+fleet_ns="$(metric BenchmarkFleet ns/op)"
+runner_mpsc="$(metric BenchmarkRunner missions/sec/core)"
+fleet_mpsc="$(metric BenchmarkFleet missions/sec/core)"
+if [ -z "$runner_ns" ] || [ -z "$fleet_ns" ]; then
+    echo "FAIL: the engine race produced no results" >&2
+    exit 1
+fi
+fleet_speedup="$(awk -v r="$runner_ns" -v f="$fleet_ns" 'BEGIN { printf "%.2f", r / f }')"
+echo "fleet_speedup: ${fleet_speedup}x (${runner_mpsc} -> ${fleet_mpsc} missions/sec/core)"
+
+echo "== byte-identity: reduced experiment run, before vs after vs fleet =="
 (cd "$wt" && go run ./cmd/experiments -exp all -missions 2 -seed 1 -workers 1 \
     -out "$wt/exp_before.md" -report "$wt/exp_before.json")
 go run ./cmd/experiments -exp all -missions 2 -seed 1 -workers 1 \
     -out "$exp_after_md" -report "$exp_after_js"
+go run ./cmd/experiments -exp all -missions 2 -seed 1 -workers 1 -fleet \
+    -out "$exp_fleet_md" -report "$exp_fleet_js"
 identical=true
 cmp -s "$wt/exp_before.md" "$exp_after_md" || identical=false
 cmp -s "$wt/exp_before.json" "$exp_after_js" || identical=false
+cmp -s "$exp_after_md" "$exp_fleet_md" || identical=false
+cmp -s "$exp_after_js" "$exp_fleet_js" || identical=false
 echo "outputs_identical: $identical"
 
 awk -v before="$before_txt" -v after="$after_txt" \
     -v ident="$identical" -v bref="$BEFORE_REF" \
-    -v aref="$(git describe --always --dirty)" -v benchtime="$BENCHTIME" '
+    -v aref="$(git describe --always --dirty)" -v benchtime="$BENCHTIME" \
+    -v rns="$runner_ns" -v fns="$fleet_ns" \
+    -v rmpsc="${runner_mpsc:-0}" -v fmpsc="${fleet_mpsc:-0}" \
+    -v fsp="$fleet_speedup" -v fmin="$MIN_FLEET_SPEEDUP" '
 function basename_bench(n) { sub(/-[0-9]+$/, "", n); return n }
 function load(file, ns, bb, al,    line, f, n) {
     while ((getline line < file) > 0) {
@@ -86,6 +159,12 @@ BEGIN {
     printf "  \"after_ref\": \"%s\",\n", aref
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"outputs_identical\": %s,\n", ident
+    printf "  \"fleet\": {\n"
+    printf "    \"runner\": {\"ns_op\": %s, \"missions_per_sec_core\": %s},\n", rns, rmpsc
+    printf "    \"fleet\": {\"ns_op\": %s, \"missions_per_sec_core\": %s},\n", fns, fmpsc
+    printf "    \"speedup\": %s,\n", fsp
+    printf "    \"min_speedup\": %s\n", fmin
+    printf "  },\n"
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= cnt; i++) {
         n = order[i]
@@ -102,6 +181,10 @@ BEGIN {
 echo "== $OUT =="
 cat "$OUT"
 if [ "$identical" != true ]; then
-    echo "FAIL: optimized tree changed experiment output bytes" >&2
+    echo "FAIL: execution engines disagree on experiment output bytes" >&2
+    exit 1
+fi
+if ! awk -v s="$fleet_speedup" -v m="$MIN_FLEET_SPEEDUP" 'BEGIN { exit !(s + 0 >= m + 0) }'; then
+    echo "FAIL: fleet speedup ${fleet_speedup}x below required ${MIN_FLEET_SPEEDUP}x" >&2
     exit 1
 fi
