@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate replay-gate record-corpus serve service-smoke loadtest
+.PHONY: all build test lint race race-runner check bench bench-baseline equiv-gate replay-gate record-corpus serve service-smoke loadtest campaign
 
 all: check
 
@@ -54,6 +54,12 @@ service-smoke:
 loadtest:
 	bash scripts/loadtest.sh
 
+# Campaign smoke gate: the committed tiny grid study must reproduce its
+# golden byte for byte — monolithic, sharded+checkpointed on the fleet
+# engine, and across a -halt-after interrupt followed by -resume.
+campaign:
+	bash scripts/campaign_smoke.sh
+
 # Regenerate the committed replay corpus (trace + golden report). A
 # deliberate act: rerun and commit the diff when the mission semantics
 # intentionally change.
@@ -63,10 +69,11 @@ record-corpus:
 check:
 	sh scripts/check.sh
 
-# Before/after hot-path benchmark comparison against the pre-fleet tree
-# (git worktree), the runner-vs-fleet engine race, and the byte-identity
-# check; writes BENCH_PR9.json. See scripts/bench_compare.sh for the
-# BEFORE_REF/BENCHTIME/MIN_FLEET_SPEEDUP knobs.
+# Before/after hot-path benchmark comparison against the pre-campaign
+# tree (git worktree), the runner-vs-fleet engine race, the campaign-vs-
+# direct overhead race, and the byte-identity checks; writes
+# BENCH_PR10.json. See scripts/bench_compare.sh for the BEFORE_REF/
+# BENCHTIME/MIN_FLEET_SPEEDUP/MIN_CAMPAIGN_RATIO knobs.
 bench:
 	bash scripts/bench_compare.sh
 

@@ -16,13 +16,25 @@
 // Output stays byte-identical; missions/sec/core improves. -batch tunes
 // the lockstep width and requires -fleet (usage errors exit 2).
 //
+// -campaign runs a declarative Monte-Carlo study (internal/campaign)
+// from a JSON spec file instead of the experiment registry: the sweep is
+// partitioned into -shards deterministic shards, each finished shard's
+// partial report is checkpointed atomically under -checkpoint, -resume
+// skips already-checkpointed shards after an interruption (even kill
+// -9), and the merged versioned study report goes to -out. The study's
+// bytes are invariant to -workers, -shards, -fleet, and interruption
+// history. -halt-after stops after N shards with exit 3 — the
+// interrupt/resume replay hook used by CI.
+//
 // Usage:
 //
 //	experiments -exp all -missions 25 -seed 1 [-workers 0] [-fleet [-batch 64]] [-out EXPERIMENTS.md] [-report report.json]
+//	experiments -campaign spec.json [-shards 16] [-checkpoint dir [-resume]] [-fleet] [-out study.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +46,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -41,17 +55,22 @@ import (
 
 // options carries the parsed command line into run.
 type options struct {
-	exp       string
-	missions  int
-	seed      int64
-	windCap   float64
-	workers   int
-	out       string
-	report    string
-	progress  bool
-	fleet     bool
-	batch     int
-	flagsSeen map[string]bool
+	exp        string
+	missions   int
+	seed       int64
+	windCap    float64
+	workers    int
+	out        string
+	report     string
+	progress   bool
+	fleet      bool
+	batch      int
+	campaign   string
+	shards     int
+	checkpoint string
+	resume     bool
+	haltAfter  int
+	flagsSeen  map[string]bool
 }
 
 func main() {
@@ -66,12 +85,19 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-sweep mission completion on stderr")
 	fleetFlag := flag.Bool("fleet", false, "execute missions on the batched fleet executor (lockstep batches over shared per-profile caches); output is identical, throughput is not")
 	batch := flag.Int("batch", 0, "fleet lockstep batch size (0 = default); requires -fleet")
+	campaignSpec := flag.String("campaign", "", "run a campaign study from this spec file (JSON) instead of the experiment registry; writes the versioned study report to -out")
+	shards := flag.Int("shards", 1, "campaign shard count; more shards mean finer checkpoints, never different bytes")
+	checkpoint := flag.String("checkpoint", "", "campaign checkpoint directory: each finished shard's partial report is persisted atomically")
+	resume := flag.Bool("resume", false, "reuse valid checkpoints in -checkpoint, skipping completed shards")
+	haltAfter := flag.Int("halt-after", 0, "stop (exit 3) after this many shards this run — the interrupt/resume replay hook; requires -checkpoint")
 	flag.Parse()
 
 	o := options{
 		exp: *exp, missions: *missions, seed: *seed, windCap: *windCap,
 		workers: *workers, out: *out, report: *report, progress: *progress,
 		fleet: *fleetFlag, batch: *batch,
+		campaign: *campaignSpec, shards: *shards, checkpoint: *checkpoint,
+		resume: *resume, haltAfter: *haltAfter,
 		flagsSeen: make(map[string]bool),
 	}
 	flag.Visit(func(f *flag.Flag) { o.flagsSeen[f.Name] = true })
@@ -103,24 +129,87 @@ func usagef(format string, args ...any) error {
 }
 
 // exitCode maps an error to the process exit code: 2 for usage mistakes
-// (explicit usagef, invalid mission configs), 1 for everything else.
+// (explicit usagef, invalid mission configs), 3 for a campaign halted by
+// -halt-after (checkpoints intact, resume to continue), 1 for everything
+// else.
 func exitCode(err error) int {
 	var ue usageErr
 	var ce *sim.ConfigError
 	if errors.As(err, &ue) || errors.As(err, &ce) {
 		return 2
 	}
+	if errors.Is(err, campaign.ErrHalted) {
+		return 3
+	}
 	return 1
 }
 
-// validate rejects flag combinations the selected execution engine does
-// not support.
+// flagRule declares one dependency or exclusion between flags. A rule
+// fires only when its flag is enabled (see options.enabled); every
+// required flag must then be enabled too, and no conflicting flag may
+// be. All inter-flag constraints live in this one table — a new flag
+// adds a row, not an ad-hoc check.
+type flagRule struct {
+	flag      string
+	requires  []string
+	conflicts []string
+}
+
+// flagRules are the command's inter-flag constraints.
+var flagRules = []flagRule{
+	{flag: "batch", requires: []string{"fleet"}},
+	{flag: "shards", requires: []string{"campaign"}},
+	{flag: "checkpoint", requires: []string{"campaign"}},
+	{flag: "resume", requires: []string{"campaign", "checkpoint"}},
+	{flag: "halt-after", requires: []string{"campaign", "checkpoint"}},
+	// A campaign's sweep lives in its spec file; the registry-experiment
+	// selection and scaling flags would silently not apply.
+	{flag: "campaign", conflicts: []string{"exp", "missions", "seed", "wind", "report"}},
+}
+
+// enabled reports whether a flag is in effect: boolean and string flags
+// by their value (so -fleet=false disables dependents), the rest by
+// having been passed explicitly.
+func (o options) enabled(name string) bool {
+	switch name {
+	case "fleet":
+		return o.fleet
+	case "resume":
+		return o.resume
+	case "campaign":
+		return o.campaign != ""
+	case "checkpoint":
+		return o.checkpoint != ""
+	default:
+		return o.flagsSeen[name]
+	}
+}
+
+// validate applies the flag-rule table, then the per-flag value checks.
 func (o options) validate() error {
-	if o.flagsSeen["batch"] && !o.fleet {
-		return usagef("-batch only applies to the fleet executor; pass -fleet")
+	for _, r := range flagRules {
+		if !o.enabled(r.flag) {
+			continue
+		}
+		for _, req := range r.requires {
+			if !o.enabled(req) {
+				return usagef("-%s requires -%s", r.flag, req)
+			}
+		}
+		for _, c := range r.conflicts {
+			if o.enabled(c) {
+				return usagef("-%s conflicts with -%s", r.flag, c)
+			}
+		}
 	}
 	if o.batch < 0 {
 		return usagef("-batch must be non-negative, got %d", o.batch)
+	}
+	if o.flagsSeen["shards"] && o.shards < 1 {
+		return usagef("-shards must be at least 1, got %d", o.shards)
+	}
+	if o.flagsSeen["halt-after"] && o.haltAfter < 1 {
+		return usagef("-halt-after must be at least 1, got %d", o.haltAfter)
 	}
 	return nil
 }
@@ -142,6 +231,9 @@ func servePprof(addr string) {
 func run(ctx context.Context, o options) error {
 	if err := o.validate(); err != nil {
 		return err
+	}
+	if o.campaign != "" {
+		return runCampaign(ctx, o)
 	}
 	var w io.Writer = os.Stdout
 	if o.out != "" {
@@ -180,6 +272,59 @@ func run(ctx context.Context, o options) error {
 		Seed:      o.seed,
 		Wind:      o.windCap,
 	})
+}
+
+// runCampaign runs one campaign study: load the spec, partition into
+// shards, execute (or resume) with checkpoints, and write the merged
+// versioned study report to -out (or stdout). The report's bytes are
+// invariant to -workers, -shards, -fleet, and any interruption history.
+func runCampaign(ctx context.Context, o options) error {
+	f, err := os.Open(o.campaign)
+	if err != nil {
+		return fmt.Errorf("campaign spec: %w", err)
+	}
+	var spec campaign.Spec
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(&spec)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("campaign spec %s: %w", o.campaign, err)
+	}
+	c, err := campaign.New(spec)
+	if err != nil {
+		return err
+	}
+	opt := campaign.Options{
+		Workers:   o.workers,
+		BatchSize: o.batch,
+		Shards:    o.shards,
+		Dir:       o.checkpoint,
+		Resume:    o.resume,
+		HaltAfter: o.haltAfter,
+	}
+	if o.fleet {
+		opt.Engine = engine.Fleet()
+	}
+	if o.progress {
+		opt.ShardDone = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "  shard %d/%d\n", done, total)
+		}
+	}
+	study, err := c.Run(ctx, opt)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if o.out != "" {
+		out, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		w = out
+	}
+	return study.WriteJSON(w)
 }
 
 // runExperiments dispatches the selected experiment(s).

@@ -26,6 +26,18 @@
 // byte-identical bytes at any pool size, and CI's service-smoke gate
 // replays the committed trace over real HTTP against the same golden.
 //
+// Every execution path — experiment sweeps, the service pool, and the
+// batched fleet executor — dispatches through one engine seam
+// (internal/engine): pre-drawn seeded jobs in, submission-order results
+// and telemetry out. On top of it, internal/campaign runs declarative
+// Monte-Carlo studies (grid or random sweeps over profiles, strategies,
+// attack widths, onset, wind, and δ-scale) partitioned into
+// checkpointable shards: each finished shard's partial report persists
+// atomically, an interrupted study resumes by skipping completed
+// shards, and shard reports merge exactly — the study bytes are
+// invariant to shard count, worker count, engine choice, and
+// interruption history.
+//
 // See README.md for a map of the packages, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for
 // paper-vs-measured results.

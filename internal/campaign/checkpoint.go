@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// CheckpointVersion is the shard-checkpoint schema version; bump on any
+// change to the checkpoint field set or semantics.
+const CheckpointVersion = 1
+
+// checkpoint is one persisted shard: the partial report plus enough
+// identity (spec fingerprint, shard layout) for a resume to verify it
+// belongs to the study being resumed. Reports from a different spec, a
+// different shard count, or a drifted schema are refused, never merged.
+type checkpoint struct {
+	Version    int               `json:"version"`
+	Campaign   string            `json:"campaign"`
+	SpecSHA256 string            `json:"spec_sha256"`
+	Shards     int               `json:"shards"`
+	Shard      int               `json:"shard"`
+	Lo         int               `json:"lo"`
+	Hi         int               `json:"hi"`
+	Report     *telemetry.Report `json:"report"`
+}
+
+// shardFile names shard i's checkpoint inside dir.
+func shardFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.json", i))
+}
+
+// prepareDir creates the checkpoint directory. Without resume, a
+// directory already holding shard checkpoints is refused: silently
+// mixing two studies' checkpoints would corrupt the merge.
+func prepareDir(dir string, resume bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	if resume {
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".json") {
+			return fmt.Errorf("campaign: checkpoint dir %s already holds %s; resume to reuse it or pick a fresh directory", dir, name)
+		}
+	}
+	return nil
+}
+
+// saveCheckpoint persists one finished shard atomically: the wrapper is
+// written to a temp file in the same directory and renamed into place,
+// so a kill at any instant leaves either no checkpoint or a complete
+// one — never a truncated file a resume could half-read.
+func (c *Campaign) saveCheckpoint(dir string, sh Shard, shards int, rep *telemetry.Report) error {
+	cp := checkpoint{
+		Version:    CheckpointVersion,
+		Campaign:   c.spec.Name,
+		SpecSHA256: c.sha,
+		Shards:     shards,
+		Shard:      sh.Index,
+		Lo:         sh.Lo,
+		Hi:         sh.Hi,
+		Report:     rep,
+	}
+	path := shardFile(dir, sh.Index)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint shard %d: %w", sh.Index, err)
+	}
+	if err := writeJSON(f, &cp); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: checkpoint shard %d: %w", sh.Index, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: checkpoint shard %d: %w", sh.Index, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: checkpoint shard %d: %w", sh.Index, err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads shard sh's checkpoint if present, verifying it
+// belongs to this study and shard layout. A missing file reports ok ==
+// false (the shard simply runs); any mismatch is an error — resuming
+// over foreign or stale checkpoints must fail loudly. Leftover .tmp
+// files from a kill mid-write are invisible here: only the renamed
+// final name is ever read.
+func (c *Campaign) loadCheckpoint(dir string, sh Shard, shards int) (*telemetry.Report, bool, error) {
+	b, err := os.ReadFile(shardFile(dir, sh.Index))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("campaign: resume shard %d: %w", sh.Index, err)
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return nil, false, fmt.Errorf("campaign: resume shard %d: %w", sh.Index, err)
+	}
+	switch {
+	case cp.Version != CheckpointVersion:
+		err = fmt.Errorf("checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	case cp.SpecSHA256 != c.sha:
+		err = fmt.Errorf("spec fingerprint %s does not match this study's %s", cp.SpecSHA256, c.sha)
+	case cp.Shards != shards:
+		err = fmt.Errorf("checkpoint was cut for %d shards, this run uses %d", cp.Shards, shards)
+	case cp.Shard != sh.Index || cp.Lo != sh.Lo || cp.Hi != sh.Hi:
+		err = fmt.Errorf("checkpoint covers shard %d [%d, %d), want shard %d [%d, %d)",
+			cp.Shard, cp.Lo, cp.Hi, sh.Index, sh.Lo, sh.Hi)
+	case cp.Report == nil:
+		err = fmt.Errorf("checkpoint has no report")
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("campaign: resume shard %d: %w", sh.Index, err)
+	}
+	return cp.Report, true, nil
+}
+
+// writeJSON renders v as indented JSON with a trailing newline.
+func writeJSON(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n"))
+	return err
+}

@@ -1,0 +1,183 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// countCheckpoints counts the complete shard checkpoints in dir.
+func countCheckpoints(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-") && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestResumeAfterInterruptByteIdentical is the interrupted-resume
+// property test: kill the campaign after k of n shards (for several k),
+// resume — at workers 1 and all CPUs — and require the merged study to
+// be byte-identical to an uninterrupted run. A stray .tmp file simulates
+// a kill mid-checkpoint-write; atomic rename means resume never sees it.
+func TestResumeAfterInterruptByteIdentical(t *testing.T) {
+	const shards = 8
+	want := renderStudy(t, Options{Shards: 1, Workers: 1})
+	for _, k := range []int{1, 3, 5, 7} {
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			t.Run(kName(k, workers), func(t *testing.T) {
+				dir := t.TempDir()
+				c, err := New(testSpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = c.Run(context.Background(), Options{
+					Shards: shards, Workers: workers, Dir: dir, HaltAfter: k,
+				})
+				if !errors.Is(err, ErrHalted) {
+					t.Fatalf("interrupted run error = %v, want ErrHalted", err)
+				}
+				if got := countCheckpoints(t, dir); got != k {
+					t.Fatalf("%d checkpoints persisted, want %d", got, k)
+				}
+				// A kill mid-write leaves a temp file; resume must ignore it.
+				if err := os.WriteFile(filepath.Join(dir, "shard-0007.json.tmp"), []byte("{\"trunc"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				study, err := c.Run(context.Background(), Options{
+					Shards: shards, Workers: workers, Dir: dir, Resume: true,
+				})
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				var buf bytes.Buffer
+				if err := study.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Error("resumed study bytes differ from the uninterrupted run")
+				}
+				if got := countCheckpoints(t, dir); got != shards {
+					t.Errorf("%d checkpoints after resume, want %d", got, shards)
+				}
+			})
+		}
+	}
+}
+
+func kName(k, workers int) string {
+	return "k=" + string(rune('0'+k)) + "/workers=" + itoa(workers)
+}
+
+func itoa(n int) string {
+	if n == 1 {
+		return "1"
+	}
+	return "N"
+}
+
+// TestResumeAfterContextCancel: cancellation between shards behaves like
+// a kill — completed checkpoints persist, the error is the bare
+// ctx.Err(), and a resume completes the study byte-identically.
+func TestResumeAfterContextCancel(t *testing.T) {
+	want := renderStudy(t, Options{Shards: 1, Workers: 1})
+	dir := t.TempDir()
+	c, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := Options{Shards: 4, Workers: 1, Dir: dir}
+	opt.ShardDone = func(done, total int) {
+		if done == 2 {
+			cancel()
+		}
+	}
+	if _, err := c.Run(ctx, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	if got := countCheckpoints(t, dir); got != 2 {
+		t.Fatalf("%d checkpoints persisted, want 2", got)
+	}
+	study, err := c.Run(context.Background(), Options{Shards: 4, Workers: 1, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("resumed study bytes differ from the uninterrupted run")
+	}
+}
+
+// TestResumeRejectsForeignCheckpoints: checkpoints from a different
+// spec, or cut for a different shard count, refuse to merge.
+func TestResumeRejectsForeignCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), Options{Shards: 4, Workers: 1, Dir: dir, HaltAfter: 2}); !errors.Is(err, ErrHalted) {
+		t.Fatal(err)
+	}
+
+	other := testSpec()
+	other.Seed = 999
+	oc, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.Run(context.Background(), Options{Shards: 4, Dir: dir, Resume: true}); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("foreign-spec resume error = %v, want fingerprint mismatch", err)
+	}
+	if _, err := c.Run(context.Background(), Options{Shards: 8, Dir: dir, Resume: true}); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Errorf("re-sharded resume error = %v, want shard-layout mismatch", err)
+	}
+}
+
+// TestResumeCompletedStudyIsPureMerge: resuming a fully checkpointed
+// study re-merges without executing anything (no engine is touched).
+func TestResumeCompletedStudyIsPureMerge(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Run(context.Background(), Options{Shards: 4, Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-cancelled context proves no shard executes: Run only checks
+	// ctx before executing a shard, never before resuming one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	again, err := c.Run(ctx, Options{Shards: 4, Workers: 1, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("fully-checkpointed resume: %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := first.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := again.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("pure-merge resume differs from the original run")
+	}
+}

@@ -1,0 +1,301 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mission"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// Sweep modes. Grid enumerates the full condition product; Random draws
+// each mission's condition uniformly from the axes.
+const (
+	ModeGrid   = "grid"
+	ModeRandom = "random"
+)
+
+// Range is a closed interval a mission parameter is drawn from. Min ==
+// Max pins the parameter.
+type Range struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// draw samples the range uniformly. A degenerate range returns Min
+// without consuming the rng, so pinning a parameter does not shift the
+// draws of the others — the spec documents each mission's draw sequence
+// as part of its determinism contract.
+func (r Range) draw(rng *rand.Rand) float64 {
+	if r.Max <= r.Min {
+		return r.Min
+	}
+	return r.Min + rng.Float64()*(r.Max-r.Min)
+}
+
+// Spec declares one campaign study: the sweep axes, the per-mission draw
+// envelopes, and the master seed. A spec is data, not code — the full
+// job list is a pure function of (Spec, Seed), so any two processes
+// holding the same spec partition and re-partition the same study.
+//
+// Grid mode enumerates profiles × strategies × attack sizes × δ scales
+// in the declared order and draws Missions missions per condition;
+// random mode draws Missions missions total, each with a uniformly drawn
+// condition. Either way every mission's scenario (path, wind, onset,
+// duration, seed) comes from one master rng consumed in job order.
+type Spec struct {
+	// Name labels the study and its checkpoints.
+	Name string `json:"name"`
+	// Seed is the master seed; the job list is a pure function of the
+	// spec and this seed.
+	Seed int64 `json:"seed"`
+	// Mode is ModeGrid (default) or ModeRandom.
+	Mode string `json:"mode,omitempty"`
+	// Missions is the sweep size: per condition in grid mode, total in
+	// random mode.
+	Missions int `json:"missions"`
+	// Profiles are the vehicle profiles swept (vehicle.ProfileName
+	// spellings). Required.
+	Profiles []string `json:"profiles"`
+	// Strategies are the defense strategies swept; default DeLorean.
+	Strategies []string `json:"strategies,omitempty"`
+	// AttackSensors are the attacked-sensor-set sizes swept; 0 is an
+	// attack-free condition. Default {1}.
+	AttackSensors []int `json:"attack_sensors,omitempty"`
+	// DeltaScales multiply each profile's default δ diagnosis thresholds,
+	// sweeping detector sensitivity. Default {1}.
+	DeltaScales []float64 `json:"delta_scales,omitempty"`
+	// Onset is the attack-start envelope in mission seconds; default
+	// 10–20 s (inside cruise).
+	Onset Range `json:"onset,omitempty"`
+	// Duration is the attack-duration envelope in seconds; default
+	// 15–25 s.
+	Duration Range `json:"duration,omitempty"`
+	// Wind is the mean-wind envelope in m/s; default 0–3 (see the
+	// experiments package on the capped envelope).
+	Wind Range `json:"wind,omitempty"`
+	// MaxSec caps each mission's simulated time; 0 uses the simulator
+	// default (240 s). Smoke specs set this low.
+	MaxSec float64 `json:"max_sec,omitempty"`
+}
+
+// withDefaults returns the normalized spec: defaults filled so that two
+// specs meaning the same study hash identically.
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	if s.Mode == "" {
+		s.Mode = ModeGrid
+	}
+	if len(s.Strategies) == 0 {
+		s.Strategies = []string{core.StrategyDeLorean.String()}
+	} else {
+		// Canonicalize accepted aliases ("lqro" → "LQR-O") so equivalent
+		// spellings of one study fingerprint identically; unknown names
+		// pass through for validate to reject.
+		canon := make([]string, len(s.Strategies))
+		for i, name := range s.Strategies {
+			if st, ok := core.StrategyByName(name); ok {
+				canon[i] = st.String()
+			} else {
+				canon[i] = name
+			}
+		}
+		s.Strategies = canon
+	}
+	if len(s.AttackSensors) == 0 {
+		s.AttackSensors = []int{1}
+	}
+	if len(s.DeltaScales) == 0 {
+		s.DeltaScales = []float64{1}
+	}
+	if s.Onset == (Range{}) {
+		s.Onset = Range{Min: 10, Max: 20}
+	}
+	if s.Duration == (Range{}) {
+		s.Duration = Range{Min: 15, Max: 25}
+	}
+	if s.Wind == (Range{}) {
+		s.Wind = Range{Min: 0, Max: 3}
+	}
+	return s
+}
+
+// validate rejects a spec that cannot produce a well-formed job list.
+// It operates on the normalized form.
+func (s Spec) validate() error {
+	if s.Mode != ModeGrid && s.Mode != ModeRandom {
+		return fmt.Errorf("campaign: spec mode must be %q or %q, got %q", ModeGrid, ModeRandom, s.Mode)
+	}
+	if s.Missions <= 0 {
+		return fmt.Errorf("campaign: spec missions must be positive, got %d", s.Missions)
+	}
+	if len(s.Profiles) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one profile")
+	}
+	for _, name := range s.Profiles {
+		if _, err := vehicle.LookupProfile(vehicle.ProfileName(name)); err != nil {
+			return fmt.Errorf("campaign: spec profile: %w", err)
+		}
+	}
+	for _, name := range s.Strategies {
+		if _, ok := core.StrategyByName(name); !ok {
+			return fmt.Errorf("campaign: spec strategy %q unknown", name)
+		}
+	}
+	maxK := len(sensors.AllTypes())
+	for _, k := range s.AttackSensors {
+		if k < 0 || k > maxK {
+			return fmt.Errorf("campaign: spec attack_sensors entry %d out of range 0..%d", k, maxK)
+		}
+	}
+	for _, sc := range s.DeltaScales {
+		if sc <= 0 {
+			return fmt.Errorf("campaign: spec delta_scales entry %v must be positive", sc)
+		}
+	}
+	for _, r := range []struct {
+		name string
+		r    Range
+	}{{"onset", s.Onset}, {"duration", s.Duration}, {"wind", s.Wind}} {
+		if r.r.Min < 0 || r.r.Max < r.r.Min {
+			return fmt.Errorf("campaign: spec %s range [%v, %v] invalid", r.name, r.r.Min, r.r.Max)
+		}
+	}
+	if s.MaxSec < 0 {
+		return fmt.Errorf("campaign: spec max_sec must be non-negative, got %v", s.MaxSec)
+	}
+	return nil
+}
+
+// sha256Hex fingerprints the normalized spec: the canonical JSON bytes
+// hashed. Checkpoints carry it so a resume against a drifted spec fails
+// loudly instead of merging incompatible shards.
+func (s Spec) sha256Hex() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("campaign: hash spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// condition is one cell of the sweep.
+type condition struct {
+	profile  vehicle.Profile
+	strategy core.Strategy
+	sensors  int
+	scale    float64
+}
+
+// name renders the condition as its experiment-group name. The merged
+// study report carries one ExperimentReport per condition under this
+// name.
+func (c condition) name() string {
+	return fmt.Sprintf("%s/%s/k=%d/dx%.2f", c.profile.Name, c.strategy, c.sensors, c.scale)
+}
+
+// conditions enumerates the grid in declared order. The enumeration
+// order is part of the determinism contract: it fixes both the rng
+// consumption order and the first-seen group order of the reports.
+func (s Spec) conditions() ([]condition, error) {
+	var out []condition
+	for _, pn := range s.Profiles {
+		p, err := vehicle.LookupProfile(vehicle.ProfileName(pn))
+		if err != nil {
+			return nil, err
+		}
+		for _, sn := range s.Strategies {
+			st, ok := core.StrategyByName(sn)
+			if !ok {
+				return nil, fmt.Errorf("campaign: strategy %q unknown", sn)
+			}
+			for _, k := range s.AttackSensors {
+				for _, sc := range s.DeltaScales {
+					out = append(out, condition{profile: p, strategy: st, sensors: k, scale: sc})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// simConfig assembles one mission's base config, consuming the wind and
+// seed draws. Attack and δ are layered on by the caller.
+func simConfig(c condition, plan mission.Plan, s Spec, rng *rand.Rand) sim.Config {
+	return sim.Config{
+		Profile:  c.profile,
+		Plan:     plan,
+		Strategy: c.strategy,
+		WindMean: s.Wind.draw(rng),
+		WindGust: 0.3 + 0.5*rng.Float64(),
+		WindDir:  rng.Float64() * 2 * math.Pi,
+		Seed:     rng.Int63(),
+		MaxSec:   s.MaxSec,
+	}
+}
+
+// build draws the complete job list: every mission's condition, path,
+// wind, attack window, and derived seed, consumed from one master rng in
+// job order. It is a pure function of the normalized spec — calling it
+// twice, in any process, yields byte-identical jobs — which is what lets
+// shards be re-derived on resume instead of persisted.
+func (s Spec) build() ([]engine.Job, []string, error) {
+	conds, err := s.conditions()
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var jobs []engine.Job
+	var groups []string
+	addMission := func(idx int, c condition) {
+		kinds := []mission.PathKind{
+			mission.Straight, mission.MultiWaypoint, mission.Circular,
+			mission.Polygon1, mission.Polygon2, mission.Polygon3,
+		}
+		plan := mission.NewOfKind(kinds[rng.Intn(len(kinds))], c.profile.CruiseAltitude, rng)
+		delta := core.DefaultDelta(c.profile)
+		for i := range delta {
+			delta[i] *= c.scale
+		}
+		cfg := simConfig(c, plan, s, rng)
+		if c.sensors > 0 {
+			onset := s.Onset.draw(rng)
+			dur := s.Duration.draw(rng)
+			targets := attack.RandomTargets(rng, c.sensors)
+			sda := attack.New(rng, attack.DefaultParams(), targets, onset, onset+dur)
+			cfg.Attacks = attack.NewSchedule(sda)
+		}
+		cfg.Delta = delta
+		jobs = append(jobs, engine.Job{
+			Label: fmt.Sprintf("%s/%04d (seed %d)", c.name(), idx, cfg.Seed),
+			Cfg:   cfg,
+		})
+		groups = append(groups, c.name())
+	}
+	switch s.Mode {
+	case ModeGrid:
+		for _, c := range conds {
+			for i := 0; i < s.Missions; i++ {
+				addMission(i, c)
+			}
+		}
+	case ModeRandom:
+		for i := 0; i < s.Missions; i++ {
+			addMission(i, conds[rng.Intn(len(conds))])
+		}
+	default:
+		return nil, nil, fmt.Errorf("campaign: spec mode %q", s.Mode)
+	}
+	return jobs, groups, nil
+}

@@ -5,10 +5,11 @@
 //
 // Every experiment follows the same two-phase shape: it first draws its
 // complete scenario list from the master seed — consuming the rng exactly
-// as a serial sweep would — and then submits the resulting jobs to the
-// deterministic parallel runner (internal/runner), reducing the results
-// in submission order. Randomness is therefore fixed before fan-out and
-// the rendered tables are byte-identical at any worker count.
+// as a serial sweep would — and then submits the resulting jobs through
+// the unified execution seam (internal/engine), reducing the results in
+// submission order. Randomness is therefore fixed before fan-out and the
+// rendered tables are byte-identical at any worker count and under any
+// engine (per-goroutine runner, batched fleet, service pool).
 //
 // The registry (registry.go) exposes each experiment behind the
 // Experiment interface; cmd/experiments drives them and renders the
@@ -24,7 +25,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/diagnosis"
-	"repro/internal/fleet"
+	"repro/internal/engine"
 	"repro/internal/mission"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -62,14 +63,19 @@ type Options struct {
 	// to whichever experiment happened to trigger them would make report
 	// content depend on experiment selection.
 	Collector *telemetry.Collector
-	// Fleet routes every sweep through the batched fleet executor
-	// (internal/fleet) instead of the per-goroutine runner: missions are
-	// partitioned into profile-homogeneous batches stepped in lockstep
-	// over shared per-(profile, dt) caches. Output is byte-identical to
-	// the runner's; only throughput changes.
+	// Engine selects the execution engine every sweep dispatches through.
+	// Nil selects the per-goroutine runner, or the batched fleet executor
+	// when Fleet is set. All engines are byte-identical (the seam's
+	// contract, pinned by internal/engine's equivalence suite); the choice
+	// changes throughput only.
+	Engine engine.Engine
+	// Fleet selects the batched fleet executor when Engine is nil:
+	// missions are partitioned into profile-homogeneous batches stepped in
+	// lockstep over shared per-(profile, dt) caches. Output is
+	// byte-identical to the runner's; only throughput changes.
 	Fleet bool
 	// BatchSize caps the fleet executor's lockstep width; <= 0 selects
-	// the fleet default. Ignored unless Fleet is set.
+	// the fleet default. Other engines ignore it.
 	BatchSize int
 }
 
@@ -87,26 +93,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// runnerOptions extracts the execution knobs for the parallel runner.
-func (o Options) runnerOptions() runner.Options {
-	return runner.Options{Workers: o.Workers, Progress: o.Progress, Telemetry: o.Collector}
-}
-
-// fleetOptions extracts the execution knobs for the fleet executor.
-func (o Options) fleetOptions() fleet.Options {
-	return fleet.Options{Workers: o.Workers, BatchSize: o.BatchSize, Progress: o.Progress, Telemetry: o.Collector}
-}
-
-// sweep executes pre-drawn jobs on the selected execution engine — the
-// per-goroutine runner, or the batched fleet executor when opt.Fleet is
-// set — returning results in submission order. The two engines are
-// byte-identical; every experiment funnels through here, so the -fleet
-// flag covers the whole evaluation.
-func sweep(ctx context.Context, jobs []runner.Job, opt Options) ([]sim.Result, error) {
-	if opt.Fleet {
-		return fleet.Run(ctx, jobs, opt.fleetOptions())
+// engine resolves the execution engine: an explicit Options.Engine wins,
+// then the Fleet shorthand, then the runner default.
+func (o Options) engine() engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
 	}
-	return runner.Run(ctx, jobs, opt.runnerOptions())
+	if o.Fleet {
+		return engine.Fleet()
+	}
+	return engine.Runner()
+}
+
+// engineOptions extracts the execution knobs for the engine seam.
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{Workers: o.Workers, BatchSize: o.BatchSize, Progress: o.Progress, Telemetry: o.Collector}
+}
+
+// sweep executes pre-drawn jobs on the selected execution engine,
+// returning results in submission order. Engines are interchangeable
+// byte for byte; every experiment funnels through here, so the engine
+// choice covers the whole evaluation.
+func sweep(ctx context.Context, jobs []runner.Job, opt Options) ([]sim.Result, error) {
+	return opt.engine().Run(ctx, jobs, opt.engineOptions())
 }
 
 // scenario is one mission draw: plan, wind, timing, and seed.

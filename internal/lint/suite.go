@@ -15,6 +15,8 @@ const (
 	corePath      = modulePath + "/internal/core"
 	runnerPath    = modulePath + "/internal/runner"
 	fleetPath     = modulePath + "/internal/fleet"
+	enginePath    = modulePath + "/internal/engine"
+	campaignPath  = modulePath + "/internal/campaign"
 	simPath       = modulePath + "/internal/sim"
 	ekfPath       = modulePath + "/internal/ekf"
 	fgPath        = modulePath + "/internal/fg"
@@ -75,6 +77,13 @@ func DefaultAnalyzers() []*Analyzer {
 				// the clock seam (quota refill) and randomness through
 				// explicitly seeded rngs (experiment seed pre-draw).
 				servicePath,
+				// The engine seam fans any engine's results back into
+				// submission order; the campaign layer draws its job list
+				// from the spec seed and merges shard reports byte-exactly.
+				// Neither may consult the wall clock or unseeded rand, or
+				// shard layout would leak into study bytes.
+				enginePath,
+				campaignPath,
 			},
 			ClockPath: clockPath,
 		}),
@@ -89,6 +98,9 @@ func DefaultAnalyzers() []*Analyzer {
 				// no global rand anywhere a batch round can reach.
 				fleetPath + ":stepLanes",
 				fleetPath + ":reduceTelemetry",
+				// The engine seam's in-order reduce is the one place every
+				// engine's results flow through on their way into a report.
+				enginePath + ":reduceTelemetry",
 			},
 			ClockPath: clockPath,
 			Sinks:     defaultSinks(),
@@ -108,10 +120,11 @@ func DefaultAnalyzers() []*Analyzer {
 
 // defaultSinks are the order-sensitive output package prefixes: anything
 // formatted (fmt), recorded in the run report (telemetry), serialized
-// into an on-disk trace (trace), or streamed over the mission service's
-// NDJSON responses (service) must not observe map iteration order.
+// into an on-disk trace (trace), streamed over the mission service's
+// NDJSON responses (service), or persisted into a study checkpoint
+// (campaign) must not observe map iteration order.
 func defaultSinks() []string {
-	return []string{"fmt", telemetryPath, tracePath, servicePath}
+	return []string{"fmt", telemetryPath, tracePath, servicePath, campaignPath}
 }
 
 // defaultHotalloc declares the roots and cold cut points of the module's

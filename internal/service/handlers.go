@@ -2,7 +2,6 @@ package service
 
 import (
 	"bytes"
-	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -13,9 +12,8 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/fleet"
+	"repro/internal/engine"
 	"repro/internal/runner"
-	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -44,13 +42,12 @@ type ExperimentRequest struct {
 	Missions int `json:"missions"`
 }
 
-// batch is one accepted submission ready to stream: the built configs
-// (index-aligned with labels) plus the report identity.
+// batch is one accepted submission ready to stream: the pre-drawn jobs
+// plus the report identity.
 type batch struct {
-	name   string
-	meta   telemetry.Meta
-	cfgs   []sim.Config
-	labels []string
+	name string
+	meta telemetry.Meta
+	jobs []engine.Job
 }
 
 func (s *Server) handleMissions(w http.ResponseWriter, r *http.Request) {
@@ -98,10 +95,12 @@ func (s *Server) handleMissions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.runBatch(w, r, batch{
-		name:   "delorean",
-		meta:   m.Spec.ReportMeta(1),
-		cfgs:   []sim.Config{m.Cfg},
-		labels: []string{fmt.Sprintf("mission (seed %d)", m.Spec.Seed)},
+		name: "delorean",
+		meta: m.Spec.ReportMeta(1),
+		jobs: []engine.Job{{
+			Label: fmt.Sprintf("mission (seed %d)", m.Spec.Seed),
+			Cfg:   m.Cfg,
+		}},
 	})
 }
 
@@ -123,10 +122,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	// sweep's bytes are a function of the request alone.
 	master := rand.New(rand.NewSource(req.Seed))
 	b := batch{
-		name:   name,
-		meta:   telemetry.Meta{Generator: "delorean-server", Missions: req.Missions, Seed: req.Seed, Wind: req.Wind},
-		cfgs:   make([]sim.Config, req.Missions),
-		labels: make([]string, req.Missions),
+		name: name,
+		meta: telemetry.Meta{Generator: "delorean-server", Missions: req.Missions, Seed: req.Seed, Wind: req.Wind},
+		jobs: make([]engine.Job, req.Missions),
 	}
 	for i := 0; i < req.Missions; i++ {
 		spec := req.MissionSpec
@@ -136,21 +134,24 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			s.invalid(w, fmt.Errorf("mission %d: %w", i, err))
 			return
 		}
-		b.cfgs[i] = m.Cfg
-		b.labels[i] = fmt.Sprintf("%s/%04d (seed %d)", name, i, spec.Seed)
+		b.jobs[i] = engine.Job{
+			Label: fmt.Sprintf("%s/%04d (seed %d)", name, i, spec.Seed),
+			Cfg:   m.Cfg,
+		}
 	}
 	s.runBatch(w, r, b)
 }
 
 // runBatch applies admission control (drain, quota, queue backpressure),
-// runs the batch on the pool, and streams NDJSON: one "accepted" record,
-// one "mission" record per mission in submission order, and — when every
-// mission succeeded — the versioned run report as the final line. The
-// stream's bytes are a pure function of the request body: results are
-// released in submission order regardless of shard count, and no record
-// carries a timestamp, worker id, or completion order.
+// runs the batch through the pool engine, and streams NDJSON: one
+// "accepted" record, one "mission" record per mission in submission
+// order, and — when every mission succeeded — the versioned run report
+// as the final line. The stream's bytes are a pure function of the
+// request body: the engine seam releases results in submission order
+// regardless of shard count, and no record carries a timestamp, worker
+// id, or completion order.
 func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
-	n := len(b.cfgs)
+	n := len(b.jobs)
 	if s.draining.Load() {
 		s.count(func(c *RunCounters) { c.RejectedDraining++ })
 		s.reject(w, http.StatusServiceUnavailable, 0, "draining: submissions are rejected while the server drains")
@@ -166,17 +167,7 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
 			fmt.Sprintf("tenant %q over quota", tenant))
 		return
 	}
-	results := make([]sim.Result, n)
-	cfgs := b.cfgs
-	attachShared(cfgs)
-	ticket, err := s.pool.Submit(r.Context(), n, func(ctx context.Context, i int) error {
-		res, err := sim.RunContext(ctx, cfgs[i])
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
+	stream, err := s.eng.Submit(r.Context(), b.jobs)
 	if err != nil {
 		switch {
 		case errors.Is(err, runner.ErrDraining):
@@ -199,23 +190,24 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
 	out := newStream(w)
 	out.record(acceptedRecord{Type: "accepted", Name: b.name, Missions: n})
 	failed := 0
-	for idx := range ticket.Ready() {
-		if err := ticket.Err(idx); err != nil {
+	for idx := range stream.Ready() {
+		if err := stream.Err(idx); err != nil {
 			failed++
-			out.record(errorRecord{Type: "error", Index: idx, Label: b.labels[idx], Error: err.Error()})
+			out.record(errorRecord{Type: "error", Index: idx, Label: b.jobs[idx].Label, Error: err.Error()})
 			continue
 		}
+		res := stream.Result(idx)
 		out.record(missionRecord{
 			Type:                "mission",
 			Index:               idx,
-			Label:               b.labels[idx],
-			Success:             results[idx].Success,
-			Crashed:             results[idx].Crashed,
-			Stalled:             results[idx].Stalled,
-			DurationSec:         results[idx].Duration,
-			FinalDistanceM:      results[idx].FinalDistance,
-			Ticks:               results[idx].Ticks,
-			RecoveryActivations: results[idx].RecoveryActivations,
+			Label:               b.jobs[idx].Label,
+			Success:             res.Success,
+			Crashed:             res.Crashed,
+			Stalled:             res.Stalled,
+			DurationSec:         res.Duration,
+			FinalDistanceM:      res.FinalDistance,
+			Ticks:               res.Ticks,
+			RecoveryActivations: res.RecoveryActivations,
 		})
 	}
 	if failed > 0 {
@@ -227,8 +219,8 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
 	// never completion order, so the report is byte-identical at any
 	// shard count.
 	tels := make([]*telemetry.Mission, n)
-	for i := range results {
-		tels[i] = results[i].Telemetry
+	for i := 0; i < n; i++ {
+		tels[i] = stream.Result(i).Telemetry
 	}
 	rep, err := BatchReport(b.name, b.meta, tels)
 	if err != nil {
@@ -238,24 +230,6 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, b batch) {
 	}
 	out.reportLine(rep)
 	s.count(func(c *RunCounters) { c.Completed++ })
-}
-
-// attachShared points every config at the process-wide per-(profile, dt)
-// shared caches from the fleet registry, so a sweep's missions reference
-// one DARE solution, one EKF covariance schedule, and one compiled
-// diagnosis graph spec instead of rebuilding them per mission. Results
-// are bit-identical with or without the caches; a profile whose caches
-// cannot be built simply runs unshared, surfacing any real defect as the
-// usual per-mission construction error.
-func attachShared(cfgs []sim.Config) {
-	for i := range cfgs {
-		if cfgs[i].Shared != nil {
-			continue
-		}
-		if sh, err := fleet.SharedFor(cfgs[i].Profile, cfgs[i].DT); err == nil {
-			cfgs[i].Shared = sh
-		}
-	}
 }
 
 // decode parses a JSON request body strictly (unknown fields are

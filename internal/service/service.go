@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/runner"
 )
 
@@ -56,12 +57,14 @@ type Status struct {
 	Runs     RunCounters      `json:"runs"`
 }
 
-// Server is the mission service: an HTTP JSON API over a sharded
-// runner.Pool. Create with New, expose via Handler, stop with
-// BeginDrain/Drain (SIGTERM path) and Close.
+// Server is the mission service: an HTTP JSON API over the pool engine
+// (a sharded runner.Pool behind the internal/engine seam). Create with
+// New, expose via Handler, stop with BeginDrain/Drain (SIGTERM path)
+// and Close.
 type Server struct {
 	cfg      Config
 	pool     *runner.Pool
+	eng      *engine.Pool
 	quota    *quota
 	draining atomic.Bool
 	mux      *http.ServeMux
@@ -78,9 +81,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	pool := runner.NewPool(cfg.Shards, cfg.QueueDepth)
 	s := &Server{
 		cfg:   cfg,
-		pool:  runner.NewPool(cfg.Shards, cfg.QueueDepth),
+		pool:  pool,
+		eng:   engine.NewPool(pool),
 		quota: newQuota(cfg.QuotaRate, cfg.QuotaBurst),
 		mux:   http.NewServeMux(),
 	}

@@ -132,47 +132,13 @@ func (c *Collector) Report(meta Meta) (*Report, error) {
 		// snapshot.
 		e.Detection.LatencyTicks = g.Detection.LatencyTicks.Clone()
 		e.FirstAttackedTrace = append([]Event(nil), g.FirstAttackedTrace...)
-		if t := e.Stages.TotalNS(); t > 0 {
-			e.CPUOverheadPercent = 100 * float64(e.Stages.DefenseNS()) / float64(t)
-		}
-		e.RecoveryRMSD.finish()
+		e.finalize()
 		rep.Experiments = append(rep.Experiments, e)
-
-		totals.Jobs += g.Jobs
-		totals.Succeeded += g.Succeeded
-		totals.Crashed += g.Crashed
-		totals.Stalled += g.Stalled
-		totals.AttackedJobs += g.AttackedJobs
-		totals.Ticks += g.Ticks
-		totals.Events += g.Events
-		totals.Counters.Add(g.Counters)
-		totals.Stages.Add(g.Stages)
-		totals.Detection.Detected += g.Detection.Detected
-		totals.Detection.Undetected += g.Detection.Undetected
-		if err := totals.Detection.LatencyTicks.Merge(g.Detection.LatencyTicks); err != nil {
+		if err := totals.accumulate(g); err != nil {
 			return nil, err
 		}
-		totals.Diagnosis.TruePositives += g.Diagnosis.TruePositives
-		totals.Diagnosis.FalseNegatives += g.Diagnosis.FalseNegatives
-		totals.Diagnosis.FalsePositives += g.Diagnosis.FalsePositives
-		totals.Diagnosis.TrueNegatives += g.Diagnosis.TrueNegatives
-		// Min/Max/Sum of the RMSD summaries merge exactly; Mean is
-		// re-derived.
-		if g.RecoveryRMSD.N > 0 {
-			if totals.RecoveryRMSD.N == 0 || g.RecoveryRMSD.Min < totals.RecoveryRMSD.Min {
-				totals.RecoveryRMSD.Min = g.RecoveryRMSD.Min
-			}
-			if totals.RecoveryRMSD.N == 0 || g.RecoveryRMSD.Max > totals.RecoveryRMSD.Max {
-				totals.RecoveryRMSD.Max = g.RecoveryRMSD.Max
-			}
-			totals.RecoveryRMSD.N += g.RecoveryRMSD.N
-			totals.RecoveryRMSD.Sum += g.RecoveryRMSD.Sum
-		}
 	}
-	if t := totals.Stages.TotalNS(); t > 0 {
-		totals.CPUOverheadPercent = 100 * float64(totals.Stages.DefenseNS()) / float64(t)
-	}
-	totals.RecoveryRMSD.finish()
+	totals.finalize()
 	rep.Totals = totals
 	return rep, nil
 }

@@ -1,0 +1,132 @@
+package telemetry
+
+import "fmt"
+
+// merge folds another summary's extremes and partial sum into s. All
+// fields except Sum merge exactly; Sum is a float partial sum, so its
+// merged value is bit-identical to the monolithic accumulation only when
+// at most one input has observations (float addition is not associative
+// in general). Campaign sweeps never populate summaries — only the
+// Table 6 recovery experiment calls ObserveRMSD — so the report merge
+// below stays byte-exact for every report the campaign layer produces.
+func (s *Summary) merge(o Summary) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if s.N == 0 || o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.N += o.N
+	s.Sum += o.Sum
+}
+
+// accumulate folds src's aggregates into dst: integer fields add, the
+// latency histogram merges exactly (erroring on bucket-layout mismatch),
+// and the RMSD summary merges via Summary.merge. Derived fields (Mean,
+// CPUOverheadPercent) are left stale — finalize recomputes them — and
+// FirstAttackedTrace is deliberately untouched: the totals entry never
+// carries a trace, and the cross-shard merge selects one positionally.
+func (dst *ExperimentReport) accumulate(src *ExperimentReport) error {
+	dst.Jobs += src.Jobs
+	dst.Succeeded += src.Succeeded
+	dst.Crashed += src.Crashed
+	dst.Stalled += src.Stalled
+	dst.AttackedJobs += src.AttackedJobs
+	dst.Ticks += src.Ticks
+	dst.Events += src.Events
+	dst.Counters.Add(src.Counters)
+	dst.Stages.Add(src.Stages)
+	dst.Detection.Detected += src.Detection.Detected
+	dst.Detection.Undetected += src.Detection.Undetected
+	if err := dst.Detection.LatencyTicks.Merge(src.Detection.LatencyTicks); err != nil {
+		return fmt.Errorf("experiment %q: %w", src.Name, err)
+	}
+	dst.Diagnosis.TruePositives += src.Diagnosis.TruePositives
+	dst.Diagnosis.FalseNegatives += src.Diagnosis.FalseNegatives
+	dst.Diagnosis.FalsePositives += src.Diagnosis.FalsePositives
+	dst.Diagnosis.TrueNegatives += src.Diagnosis.TrueNegatives
+	dst.RecoveryRMSD.merge(src.RecoveryRMSD)
+	return nil
+}
+
+// finalize recomputes the derived fields from the accumulated state.
+func (e *ExperimentReport) finalize() {
+	e.CPUOverheadPercent = 0
+	if t := e.Stages.TotalNS(); t > 0 {
+		e.CPUOverheadPercent = 100 * float64(e.Stages.DefenseNS()) / float64(t)
+	}
+	e.RecoveryRMSD.finish()
+}
+
+// MergeReports folds partial run reports — each covering a disjoint,
+// submission-order-contiguous slice of one logical sweep — into the
+// single report the whole sweep would have produced monolithically. This
+// is the campaign layer's reduce: shards run independently, persist
+// partial reports, and the study report is assembled here.
+//
+// Experiment groups merge by name, ordered by first appearance across
+// the parts in the order given. Because shards are contiguous
+// submission-order ranges and groups appear in Begin order within each
+// shard, first-seen order across in-order parts equals the monolithic
+// Begin order. Each group's FirstAttackedTrace is the first non-empty
+// trace in part order — again the monolithic choice, since an earlier
+// shard's attacked job precedes a later shard's in submission order.
+// Totals are recomputed from the merged groups exactly as
+// Collector.Report derives them, never taken from the parts.
+//
+// The merge is exact — associative and invariant to how the sweep was
+// partitioned — because every aggregated field is integer-valued except
+// Summary.Sum (see Summary.merge for the caveat) and the derived
+// Mean/CPUOverheadPercent values, which are recomputed once from merged
+// integer state rather than merged.
+//
+// Every part must carry the current ReportVersion; Meta is taken from
+// the caller, since partial reports describe shards, not the study.
+func MergeReports(meta Meta, parts ...*Report) (*Report, error) {
+	rep := &Report{Version: ReportVersion, Meta: meta}
+	order := []*ExperimentReport{}
+	byName := map[string]*ExperimentReport{}
+	for pi, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("telemetry: merge part %d is nil", pi)
+		}
+		if p.Version != ReportVersion {
+			return nil, fmt.Errorf("telemetry: merge part %d has report version %d, want %d", pi, p.Version, ReportVersion)
+		}
+		for i := range p.Experiments {
+			src := &p.Experiments[i]
+			g, ok := byName[src.Name]
+			if !ok {
+				g = &ExperimentReport{
+					Name:      src.Name,
+					Detection: DetectionStats{LatencyTicks: NewHistogram(DefaultLatencyBounds()...)},
+				}
+				byName[src.Name] = g
+				order = append(order, g)
+			}
+			if err := g.accumulate(src); err != nil {
+				return nil, fmt.Errorf("telemetry: merge part %d: %w", pi, err)
+			}
+			if len(g.FirstAttackedTrace) == 0 && len(src.FirstAttackedTrace) > 0 {
+				g.FirstAttackedTrace = append([]Event(nil), src.FirstAttackedTrace...)
+			}
+		}
+	}
+	totals := ExperimentReport{
+		Name:      "totals",
+		Detection: DetectionStats{LatencyTicks: NewHistogram(DefaultLatencyBounds()...)},
+	}
+	for _, g := range order {
+		if err := totals.accumulate(g); err != nil {
+			return nil, fmt.Errorf("telemetry: merge totals: %w", err)
+		}
+		g.finalize()
+		rep.Experiments = append(rep.Experiments, *g)
+	}
+	totals.finalize()
+	rep.Totals = totals
+	return rep, nil
+}

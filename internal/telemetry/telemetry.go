@@ -150,6 +150,20 @@ func (s Stage) String() string {
 // MarshalText renders the kind name into JSON reports.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
+// UnmarshalText parses a kind name back from a JSON report, so persisted
+// reports (campaign shard checkpoints, recorded run artifacts) round-trip
+// losslessly through their encoding.
+func (k *Kind) UnmarshalText(text []byte) error {
+	name := string(text)
+	for c := KindAlertRaised; c <= KindModeTransition; c++ {
+		if c.String() == name {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", name)
+}
+
 // Event is one timestamped pipeline event. Tick is the simulation tick
 // (control periods since mission start) — the only clock this layer
 // knows.
